@@ -1,0 +1,67 @@
+// Ablation A3: the retransmission-request guard (paper §III-A-2).
+//
+// Under acceleration, the token's seq can reflect messages that have not
+// been multicast yet. A naive participant that requests every gap up to the
+// *current* token's seq would flood the ring with spurious retransmission
+// requests for messages that were merely still in flight. The paper's rule
+// requests only up to the seq of the *previous* round's token. This ablation
+// compares the two by counting requested retransmissions on a loss-free
+// fabric, where every request is by definition unnecessary.
+#include "bench_common.hpp"
+
+#include "harness/latency.hpp"
+
+namespace {
+
+using namespace accelring::bench;
+
+struct GuardResult {
+  uint64_t rtr_requested = 0;
+  uint64_t retransmitted = 0;
+  double achieved = 0;
+  double mean_lat_us = 0;
+};
+
+GuardResult run(bool naive_guard) {
+  PointConfig pc = base_point(/*ten_gig=*/false);
+  pc.profile = ImplProfile::kLibrary;
+  pc.proto = accelring::harness::bench_protocol(Variant::kAccelerated);
+  pc.service = Service::kAgreed;
+  pc.offered_mbps = 800;
+  // The naive guard is exactly what the original-protocol code path does
+  // (request up to the received token's seq), so run "original" rtr rules
+  // with accelerated sending by toggling the variant flag the engine uses
+  // for the bound — emulated here via a dedicated config option.
+  pc.proto.naive_rtr_guard = naive_guard;
+  const auto r = accelring::harness::run_point(pc);
+  GuardResult g;
+  g.rtr_requested = r.rtr_requested;
+  g.retransmitted = r.retransmits;
+  g.achieved = r.achieved_mbps;
+  g.mean_lat_us = accelring::util::to_usec(r.mean_latency);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Ablation: rtr guard under acceleration (library, 1GbE, "
+              "800 Mbps, zero loss) ====\n\n");
+  std::printf("%-24s %14s %14s %12s %12s\n", "guard", "rtr_requested",
+              "retransmitted", "achieved", "mean_lat_us");
+  const GuardResult paper = run(false);
+  const GuardResult naive = run(true);
+  std::printf("%-24s %14llu %14llu %12.1f %12.1f\n",
+              "previous-token (paper)",
+              static_cast<unsigned long long>(paper.rtr_requested),
+              static_cast<unsigned long long>(paper.retransmitted),
+              paper.achieved, paper.mean_lat_us);
+  std::printf("%-24s %14llu %14llu %12.1f %12.1f\n", "current-token (naive)",
+              static_cast<unsigned long long>(naive.rtr_requested),
+              static_cast<unsigned long long>(naive.retransmitted),
+              naive.achieved, naive.mean_lat_us);
+  std::printf("\nexpected shape: the paper's guard requests ~zero spurious "
+              "retransmissions; the naive guard requests many (every gap "
+              "created by not-yet-sent post-token messages)\n");
+  return 0;
+}

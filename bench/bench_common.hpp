@@ -1,0 +1,75 @@
+// Shared setup for the figure-reproduction benchmarks.
+//
+// Each bench binary regenerates one figure of the paper: it sweeps offered
+// load for the relevant (implementation, protocol, service, fabric, payload)
+// combinations and prints latency-vs-throughput rows. Absolute numbers come
+// from a simulator calibrated against 2012-era hardware (DESIGN.md §1); the
+// *shape* — who wins, by what factor, where the knees and crossovers sit —
+// is the reproduction target recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+
+namespace accelring::bench {
+
+using harness::Curve;
+using harness::ImplProfile;
+using harness::PointConfig;
+using protocol::Service;
+using protocol::Variant;
+
+/// Offered-load grids (aggregate clean payload Mbps across 8 senders).
+inline std::vector<double> one_gig_loads() {
+  return {100, 200, 300, 400, 500, 600, 700, 800, 900, 950};
+}
+inline std::vector<double> ten_gig_loads() {
+  return {250, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000};
+}
+inline std::vector<double> ten_gig_large_loads() {
+  return {1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000};
+}
+
+/// Measurement windows: short enough to keep a full figure under a few
+/// minutes of wall clock, long enough for tens of thousands of samples.
+inline PointConfig base_point(bool ten_gig) {
+  PointConfig pc;
+  pc.nodes = 8;
+  pc.fabric = ten_gig ? simnet::FabricParams::ten_gig()
+                      : simnet::FabricParams::one_gig();
+  pc.warmup = util::msec(100);
+  pc.measure = util::msec(300);
+  return pc;
+}
+
+inline std::string curve_label(ImplProfile profile, Variant variant,
+                               Service service, size_t payload) {
+  std::string label = harness::profile_name(profile);
+  label += variant == Variant::kOriginal ? " / original" : " / accelerated";
+  label += service == Service::kSafe ? " / safe" : " / agreed";
+  label += " / " + std::to_string(payload) + "B";
+  return label;
+}
+
+/// Run and print the standard 6-curve figure (3 impls x 2 variants).
+inline void run_figure(const char* title, bool ten_gig, Service service,
+                       const std::vector<double>& loads) {
+  std::printf("==== %s ====\n\n", title);
+  for (ImplProfile profile :
+       {ImplProfile::kLibrary, ImplProfile::kDaemon, ImplProfile::kSpread}) {
+    for (Variant variant : {Variant::kOriginal, Variant::kAccelerated}) {
+      PointConfig pc = base_point(ten_gig);
+      pc.profile = profile;
+      pc.proto = harness::bench_protocol(variant);
+      pc.service = service;
+      pc.payload_size = 1350;
+      harness::print_curve(harness::run_curve(
+          curve_label(profile, variant, service, 1350), pc, loads));
+    }
+  }
+}
+
+}  // namespace accelring::bench

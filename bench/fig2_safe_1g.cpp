@@ -1,0 +1,15 @@
+// Figure 2: Safe delivery latency vs throughput, 1-gigabit network.
+//
+// Paper shapes: same ordering as Figure 1 but with higher absolute latency
+// (Safe delivery needs the aru to confirm receipt by all, costing about two
+// extra token rounds); the original protocol supports ~600 Mbps before the
+// latency knee, the accelerated protocol 800+ Mbps at roughly half the
+// latency.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace accelring::bench;
+  run_figure("Figure 2: Safe delivery latency vs throughput, 1GbE, 1350B",
+             /*ten_gig=*/false, Service::kSafe, one_gig_loads());
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 6: Throughput vs Safe latency for 1350-byte vs 8850-byte payloads,
+// 10-gigabit network, accelerated protocol.
+//
+// Paper shapes: the large-payload improvements mirror Figure 4 for Safe
+// delivery, with slightly higher throughputs than Agreed because client
+// delivery is off the critical path.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace accelring::bench;
+  std::printf(
+      "==== Figure 6: Safe throughput vs latency, 10GbE, 1350B vs 8850B "
+      "====\n\n");
+  for (ImplProfile profile :
+       {ImplProfile::kLibrary, ImplProfile::kDaemon, ImplProfile::kSpread}) {
+    for (size_t payload : {size_t{1350}, size_t{8850}}) {
+      PointConfig pc = base_point(/*ten_gig=*/true);
+      pc.profile = profile;
+      pc.proto = accelring::harness::bench_protocol(Variant::kAccelerated);
+      pc.service = Service::kSafe;
+      pc.payload_size = payload;
+      const auto loads =
+          payload > 4000 ? ten_gig_large_loads() : ten_gig_loads();
+      accelring::harness::print_curve(accelring::harness::run_curve(
+          curve_label(profile, Variant::kAccelerated, Service::kSafe,
+                      payload),
+          pc, loads));
+    }
+  }
+  return 0;
+}

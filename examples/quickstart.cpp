@@ -1,0 +1,73 @@
+// Quickstart: totally ordered multicast in ~60 lines.
+//
+// Builds a 4-node simulated cluster, sends a handful of messages from
+// different nodes with Agreed and Safe delivery, and shows that every node
+// delivers the identical totally ordered stream.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.hpp"
+#include "util/bytes.hpp"
+
+using namespace accelring;
+
+int main() {
+  const int kNodes = 4;
+
+  // A cluster: 4 processes, one simulated 1GbE switch, the Accelerated Ring
+  // protocol (the default ProtocolConfig).
+  protocol::ProtocolConfig config;
+  config.variant = protocol::Variant::kAccelerated;
+  harness::SimCluster cluster(kNodes, simnet::FabricParams::one_gig(), config,
+                              harness::ImplProfile::kLibrary);
+
+  // Record what each node delivers.
+  std::vector<std::vector<std::string>> delivered(kNodes);
+  cluster.set_on_deliver([&](int node, const protocol::Delivery& d,
+                             protocol::Nanos at) {
+    delivered[node].push_back(
+        std::string(reinterpret_cast<const char*>(d.payload.data()),
+                    d.payload.size()));
+    if (node == 0) {
+      std::printf("node 0 delivered seq=%lld from p%u (%s) at t=%.0fus: %s\n",
+                  static_cast<long long>(d.seq), unsigned{d.sender},
+                  protocol::service_name(d.service), util::to_usec(at),
+                  delivered[node].back().c_str());
+    }
+  });
+
+  // Start all nodes on one pre-agreed ring (see examples/partition_demo.cpp
+  // for dynamic membership instead).
+  cluster.start_static();
+
+  // Send interleaved messages from every node. Agreed delivery orders them
+  // totally; the Safe message is only delivered once everyone has it.
+  for (int i = 0; i < 5; ++i) {
+    for (int node = 0; node < kNodes; ++node) {
+      cluster.eq().schedule(util::usec(100 + i * 150), [&, node, i] {
+        const std::string text =
+            "msg" + std::to_string(i) + "-from-p" + std::to_string(node);
+        cluster.submit(node, protocol::Service::kAgreed,
+                       util::to_vector(util::as_bytes(text)));
+      });
+    }
+  }
+  cluster.eq().schedule(util::usec(900), [&] {
+    cluster.submit(0, protocol::Service::kSafe,
+                   util::to_vector(util::as_bytes("safe-checkpoint")));
+  });
+
+  cluster.run_until(util::msec(100));
+
+  // Verify the total order property.
+  bool identical = true;
+  for (int node = 1; node < kNodes; ++node) {
+    identical = identical && delivered[node] == delivered[0];
+  }
+  std::printf("\n%d nodes delivered %zu messages each; orders identical: %s\n",
+              kNodes, delivered[0].size(), identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+#include "daemon/client.hpp"
+
+namespace accelring::daemon {
+
+Client::Client(Daemon& daemon, std::string name, MessageFn on_message,
+               ViewFn on_view)
+    : daemon_(daemon), name_(std::move(name)) {
+  Session session;
+  session.name = name_;
+  session.on_message = std::move(on_message);
+  session.on_view = std::move(on_view);
+  id_ = daemon_.connect(std::move(session));
+}
+
+Client::~Client() { daemon_.disconnect(id_); }
+
+}  // namespace accelring::daemon

@@ -1,0 +1,52 @@
+// Client handle: the application-facing API of the client-daemon
+// architecture. Mirrors the Spread client library's surface (connect, join,
+// leave, multicast, receive) for in-process clients.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "daemon/daemon.hpp"
+
+namespace accelring::daemon {
+
+/// RAII session with a local daemon. Connect on construction, disconnect on
+/// destruction. Callbacks fire on the daemon's thread (or simulated CPU).
+class Client {
+ public:
+  using MessageFn =
+      std::function<void(const std::string& group, const std::string& sender,
+                         Service service, std::span<const std::byte>)>;
+  using ViewFn = std::function<void(const groups::GroupView&)>;
+
+  Client(Daemon& daemon, std::string name, MessageFn on_message = {},
+         ViewFn on_view = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool join(const std::string& group) { return daemon_.join(id_, group); }
+  bool leave(const std::string& group) { return daemon_.leave(id_, group); }
+
+  /// Single-group send.
+  bool send(const std::string& group, Service service,
+            std::vector<std::byte> payload) {
+    return daemon_.send(id_, {group}, service, std::move(payload));
+  }
+  /// Multi-group multicast with cross-group ordering.
+  bool send(const std::vector<std::string>& groups, Service service,
+            std::vector<std::byte> payload) {
+    return daemon_.send(id_, groups, service, std::move(payload));
+  }
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  Daemon& daemon_;
+  std::string name_;
+  ClientId id_;
+};
+
+}  // namespace accelring::daemon

@@ -1,0 +1,153 @@
+#include "daemon/config_file.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace accelring::daemon {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;  // comment until end of line
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+template <typename T>
+bool parse_number(const std::string& s, T& out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool apply_option(const std::string& key, uint64_t value,
+                  protocol::ProtocolConfig& proto) {
+  if (key == "personal_window") {
+    proto.personal_window = static_cast<uint32_t>(value);
+  } else if (key == "global_window") {
+    proto.global_window = static_cast<uint32_t>(value);
+  } else if (key == "accelerated_window") {
+    proto.accelerated_window = static_cast<uint32_t>(value);
+  } else if (key == "max_seq_gap") {
+    proto.max_seq_gap = static_cast<protocol::SeqNum>(value);
+  } else if (key == "max_pending") {
+    proto.max_pending = value;
+  } else if (key == "token_retransmit_timeout_ms") {
+    proto.token_retransmit_timeout = util::msec(static_cast<int64_t>(value));
+  } else if (key == "token_loss_timeout_ms") {
+    proto.token_loss_timeout = util::msec(static_cast<int64_t>(value));
+  } else if (key == "join_timeout_ms") {
+    proto.join_timeout = util::msec(static_cast<int64_t>(value));
+  } else if (key == "consensus_timeout_ms") {
+    proto.consensus_timeout = util::msec(static_cast<int64_t>(value));
+  } else if (key == "idle_token_hold_us") {
+    proto.idle_token_hold = util::usec(static_cast<int64_t>(value));
+  } else if (key == "packing") {
+    proto.enable_packing = value != 0;
+  } else if (key == "packing_budget") {
+    proto.packing_budget = value;
+  } else if (key == "auto_tune") {
+    proto.auto_tune = value != 0;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<DeploymentConfig> parse_config_text(std::string_view text,
+                                                  ConfigError& error) {
+  DeploymentConfig config;
+  int line_number = 0;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "daemon") {
+      if (tokens.size() != 5) {
+        error = {line_number, "daemon needs: pid ip data_port token_port"};
+        return std::nullopt;
+      }
+      uint32_t pid = 0;
+      uint32_t data_port = 0;
+      uint32_t token_port = 0;
+      if (!parse_number(tokens[1], pid) || pid > 0xFFFE) {
+        error = {line_number, "bad daemon pid: " + tokens[1]};
+        return std::nullopt;
+      }
+      if (!parse_number(tokens[3], data_port) || data_port > 65535 ||
+          !parse_number(tokens[4], token_port) || token_port > 65535) {
+        error = {line_number, "bad port"};
+        return std::nullopt;
+      }
+      const auto id = static_cast<protocol::ProcessId>(pid);
+      if (config.peers.contains(id)) {
+        error = {line_number, "duplicate daemon pid: " + tokens[1]};
+        return std::nullopt;
+      }
+      config.peers[id] = transport::PeerAddress{
+          tokens[2], static_cast<uint16_t>(data_port),
+          static_cast<uint16_t>(token_port)};
+    } else if (directive == "protocol") {
+      if (tokens.size() != 2 ||
+          (tokens[1] != "accelerated" && tokens[1] != "original")) {
+        error = {line_number, "protocol must be 'accelerated' or 'original'"};
+        return std::nullopt;
+      }
+      config.proto.variant = tokens[1] == "original"
+                                 ? protocol::Variant::kOriginal
+                                 : protocol::Variant::kAccelerated;
+    } else if (directive == "option") {
+      uint64_t value = 0;
+      if (tokens.size() != 3 || !parse_number(tokens[2], value)) {
+        error = {line_number, "option needs: name numeric_value"};
+        return std::nullopt;
+      }
+      if (!apply_option(tokens[1], value, config.proto)) {
+        error = {line_number, "unknown option: " + tokens[1]};
+        return std::nullopt;
+      }
+    } else {
+      error = {line_number, "unknown directive: " + directive};
+      return std::nullopt;
+    }
+  }
+  if (config.peers.empty()) {
+    error = {line_number, "no daemons defined"};
+    return std::nullopt;
+  }
+  return config;
+}
+
+std::optional<DeploymentConfig> load_config_file(const std::string& path,
+                                                 ConfigError& error) {
+  std::ifstream file(path);
+  if (!file) {
+    error = {0, "cannot open " + path};
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return parse_config_text(buffer.str(), error);
+}
+
+}  // namespace accelring::daemon

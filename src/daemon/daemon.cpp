@@ -1,0 +1,92 @@
+#include "daemon/daemon.hpp"
+
+namespace accelring::daemon {
+
+Daemon::Daemon(protocol::ProcessId pid, protocol::Engine& engine)
+    : pid_(pid), engine_(engine), layer_(pid, engine) {
+  layer_.set_on_message([this](uint32_t client, const std::string& group,
+                               const std::string& sender, Service service,
+                               std::span<const std::byte> payload) {
+    const auto it = sessions_.find(client);
+    if (it == sessions_.end() || !it->second.on_message) return;
+    it->second.on_message(group, sender, service, payload);
+  });
+  layer_.set_on_view([this](uint32_t client, const groups::GroupView& view) {
+    const auto it = sessions_.find(client);
+    if (it == sessions_.end() || !it->second.on_view) return;
+    it->second.on_view(view);
+  });
+}
+
+void Daemon::on_delivery(const protocol::Delivery& delivery) {
+  layer_.on_delivery(delivery);
+}
+
+void Daemon::on_configuration(const protocol::ConfigurationChange& change) {
+  layer_.on_configuration(change);
+}
+
+ClientId Daemon::connect(Session session) {
+  const ClientId id = next_client_++;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+void Daemon::disconnect(ClientId client) {
+  const auto it = sessions_.find(client);
+  if (it == sessions_.end()) return;
+  layer_.disconnect(client, it->second.name);
+  sessions_.erase(it);
+}
+
+bool Daemon::join(ClientId client, const std::string& group) {
+  const auto it = sessions_.find(client);
+  if (it == sessions_.end()) return false;
+  return layer_.join(client, it->second.name, group);
+}
+
+bool Daemon::leave(ClientId client, const std::string& group) {
+  const auto it = sessions_.find(client);
+  if (it == sessions_.end()) return false;
+  return layer_.leave(client, it->second.name, group);
+}
+
+bool Daemon::send(ClientId client, const std::vector<std::string>& groups,
+                  Service service, std::vector<std::byte> payload) {
+  const auto it = sessions_.find(client);
+  if (it == sessions_.end()) return false;
+  return layer_.send(client, it->second.name, groups, service,
+                     std::move(payload));
+}
+
+std::optional<DaemonEvent> Daemon::handle_request(
+    std::span<const std::byte> frame) {
+  const auto req = decode_request(frame);
+  if (!req) return std::nullopt;
+  switch (req->op) {
+    case RequestOp::kConnect: {
+      Session session;
+      session.name = req->name;
+      const ClientId id = connect(std::move(session));
+      DaemonEvent ev;
+      ev.op = EventOp::kConnected;
+      ev.client = id;
+      return ev;
+    }
+    case RequestOp::kJoin:
+      if (!req->groups.empty()) join(req->client, req->groups[0]);
+      return std::nullopt;
+    case RequestOp::kLeave:
+      if (!req->groups.empty()) leave(req->client, req->groups[0]);
+      return std::nullopt;
+    case RequestOp::kSend:
+      send(req->client, req->groups, req->service, req->payload);
+      return std::nullopt;
+    case RequestOp::kDisconnect:
+      disconnect(req->client);
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace accelring::daemon

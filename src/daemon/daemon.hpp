@@ -1,0 +1,78 @@
+// The daemon: Spread's client-daemon architecture (paper §I, §III-D).
+//
+// One daemon per machine embeds the ordering engine and serves local client
+// sessions. Clients join groups, send to groups (open-group semantics), and
+// receive ordered messages and membership views. The daemon wires the
+// engine's delivery/configuration callbacks into the group layer and fans
+// results out to sessions.
+//
+// The daemon is transport-agnostic: it hangs off whatever Host the engine
+// was built with (simulator or real UDP), so the same class backs the
+// simulated benchmarks, the in-process examples, and a real deployment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "daemon/ipc.hpp"
+#include "groups/group_layer.hpp"
+#include "protocol/engine.hpp"
+
+namespace accelring::daemon {
+
+using ClientId = uint32_t;
+
+/// One connected client session and its callbacks.
+struct Session {
+  std::string name;
+  /// (group, sender name, service, payload)
+  std::function<void(const std::string&, const std::string&, Service,
+                     std::span<const std::byte>)>
+      on_message;
+  std::function<void(const groups::GroupView&)> on_view;
+};
+
+class Daemon {
+ public:
+  /// The engine must outlive the daemon. Call attach() on the engine's host
+  /// callbacks (see bind_to_sim_host / examples) so deliveries reach us.
+  Daemon(protocol::ProcessId pid, protocol::Engine& engine);
+
+  // --- host-side wiring ------------------------------------------------------
+  /// Feed an engine delivery (install as the Host's deliver callback).
+  void on_delivery(const protocol::Delivery& delivery);
+  /// Feed a configuration change.
+  void on_configuration(const protocol::ConfigurationChange& change);
+
+  // --- client session management ---------------------------------------------
+  ClientId connect(Session session);
+  void disconnect(ClientId client);
+
+  bool join(ClientId client, const std::string& group);
+  bool leave(ClientId client, const std::string& group);
+  /// Multi-group multicast: ordered across groups (paper §I).
+  bool send(ClientId client, const std::vector<std::string>& groups,
+            Service service, std::vector<std::byte> payload);
+
+  /// Handle a serialized IPC request frame; returns the serialized events
+  /// generated synchronously (for socket-based clients / tests). Ordered
+  /// messages flow back later through sessions' callbacks.
+  std::optional<DaemonEvent> handle_request(std::span<const std::byte> frame);
+
+  [[nodiscard]] const groups::GroupLayer& group_layer() const {
+    return layer_;
+  }
+  [[nodiscard]] protocol::ProcessId pid() const { return pid_; }
+  [[nodiscard]] size_t session_count() const { return sessions_.size(); }
+
+ private:
+  protocol::ProcessId pid_;
+  protocol::Engine& engine_;
+  groups::GroupLayer layer_;
+  std::map<ClientId, Session> sessions_;
+  ClientId next_client_ = 1;
+};
+
+}  // namespace accelring::daemon

@@ -1,0 +1,71 @@
+#include "daemon/ipc.hpp"
+
+#include "util/bytes.hpp"
+
+namespace accelring::daemon {
+
+std::vector<std::byte> encode(const ClientRequest& req) {
+  util::Writer w(64 + req.payload.size());
+  w.u8(static_cast<uint8_t>(req.op));
+  w.u32(req.client);
+  w.str(req.name);
+  w.u8(static_cast<uint8_t>(req.groups.size()));
+  for (const auto& g : req.groups) w.str(g);
+  w.u8(static_cast<uint8_t>(req.service));
+  w.bytes(req.payload);
+  return std::move(w).take();
+}
+
+std::optional<ClientRequest> decode_request(std::span<const std::byte> frame) {
+  util::Reader r(frame);
+  ClientRequest req;
+  const uint8_t op = r.u8();
+  if (op < 1 || op > 5) return std::nullopt;
+  req.op = static_cast<RequestOp>(op);
+  req.client = r.u32();
+  req.name = r.str();
+  const uint8_t n = r.u8();
+  for (uint8_t i = 0; i < n && r.ok(); ++i) req.groups.push_back(r.str());
+  const uint8_t service = r.u8();
+  if (service > 4) return std::nullopt;
+  req.service = static_cast<Service>(service);
+  req.payload = util::to_vector(r.bytes());
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+std::vector<std::byte> encode(const DaemonEvent& event) {
+  util::Writer w(64 + event.payload.size());
+  w.u8(static_cast<uint8_t>(event.op));
+  w.u32(event.client);
+  w.str(event.group);
+  w.str(event.sender);
+  w.u8(static_cast<uint8_t>(event.service));
+  w.u64(event.view_id);
+  w.u16(static_cast<uint16_t>(event.members.size()));
+  for (const auto& m : event.members) w.str(m);
+  w.bytes(event.payload);
+  return std::move(w).take();
+}
+
+std::optional<DaemonEvent> decode_event(std::span<const std::byte> frame) {
+  util::Reader r(frame);
+  DaemonEvent event;
+  const uint8_t op = r.u8();
+  if (op < 1 || op > 3) return std::nullopt;
+  event.op = static_cast<EventOp>(op);
+  event.client = r.u32();
+  event.group = r.str();
+  event.sender = r.str();
+  const uint8_t service = r.u8();
+  if (service > 4) return std::nullopt;
+  event.service = static_cast<Service>(service);
+  event.view_id = r.u64();
+  const uint16_t n = r.u16();
+  for (uint16_t i = 0; i < n && r.ok(); ++i) event.members.push_back(r.str());
+  event.payload = util::to_vector(r.bytes());
+  if (!r.done()) return std::nullopt;
+  return event;
+}
+
+}  // namespace accelring::daemon

@@ -1,0 +1,63 @@
+// Client <-> daemon IPC framing.
+//
+// Spread clients talk to their local daemon over IPC sockets (paper §III-D).
+// These codecs define that protocol: requests flow client -> daemon, events
+// flow daemon -> client. In-process clients (daemon/client.hpp) skip the
+// byte encoding, but the frames are what a unix-socket client library would
+// speak, and the daemon tests exercise them.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "protocol/types.hpp"
+
+namespace accelring::daemon {
+
+using protocol::Service;
+
+enum class RequestOp : uint8_t {
+  kConnect = 1,
+  kJoin = 2,
+  kLeave = 3,
+  kSend = 4,
+  kDisconnect = 5,
+};
+
+struct ClientRequest {
+  RequestOp op = RequestOp::kConnect;
+  uint32_t client = 0;               ///< session id (0 for kConnect)
+  std::string name;                  ///< client private name (kConnect)
+  std::vector<std::string> groups;   ///< join/leave/send targets
+  Service service = Service::kAgreed;
+  std::vector<std::byte> payload;    ///< kSend only
+};
+
+[[nodiscard]] std::vector<std::byte> encode(const ClientRequest& req);
+[[nodiscard]] std::optional<ClientRequest> decode_request(
+    std::span<const std::byte> frame);
+
+enum class EventOp : uint8_t {
+  kConnected = 1,   ///< session established; `client` carries the new id
+  kMessage = 2,     ///< ordered application message
+  kView = 3,        ///< group membership view
+};
+
+struct DaemonEvent {
+  EventOp op = EventOp::kMessage;
+  uint32_t client = 0;
+  std::string group;
+  std::string sender;                  ///< sending client's name (kMessage)
+  Service service = Service::kAgreed;
+  uint64_t view_id = 0;                ///< kView
+  std::vector<std::string> members;    ///< kView: member names
+  std::vector<std::byte> payload;      ///< kMessage
+};
+
+[[nodiscard]] std::vector<std::byte> encode(const DaemonEvent& event);
+[[nodiscard]] std::optional<DaemonEvent> decode_event(
+    std::span<const std::byte> frame);
+
+}  // namespace accelring::daemon

@@ -1,0 +1,251 @@
+#include "daemon/ipc_server.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace accelring::daemon {
+
+namespace {
+
+constexpr const char* kTag = "ipc";
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+IpcServer::IpcServer(Daemon& daemon, transport::EventLoop& loop,
+                     std::string socket_path)
+    : daemon_(daemon), loop_(loop), path_(std::move(socket_path)) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_SEQPACKET, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+  ::unlink(path_.c_str());
+  sockaddr_un addr = make_addr(path_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("bind failed on " + path_);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("listen failed on " + path_);
+  }
+  set_nonblocking(listen_fd_);
+  loop_.add_fd(listen_fd_, [this] { on_accept(); });
+}
+
+IpcServer::~IpcServer() {
+  for (auto& [fd, conn] : conns_) {
+    loop_.remove_fd(fd);
+    ::close(fd);
+  }
+  if (listen_fd_ >= 0) {
+    loop_.remove_fd(listen_fd_);
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+void IpcServer::on_accept() {
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return;
+  set_nonblocking(fd);
+  conns_[fd] = Connection{fd, 0};
+  loop_.add_fd(fd, [this, fd] { on_readable(fd); });
+}
+
+void IpcServer::send_event(int fd, const DaemonEvent& event) {
+  const auto frame = encode(event);
+  ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+}
+
+void IpcServer::on_readable(int fd) {
+  std::byte buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n == 0) {
+      close_connection(fd);
+      return;
+    }
+    if (n < 0) return;  // EAGAIN: drained
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    const auto request = decode_request(
+        std::span<const std::byte>(buf, static_cast<size_t>(n)));
+    if (!request) continue;
+
+    if (request->op == RequestOp::kConnect) {
+      // Build a session whose callbacks serialize events back to this fd.
+      Session session;
+      session.name = request->name;
+      session.on_message = [this, fd](const std::string& group,
+                                      const std::string& sender,
+                                      Service service,
+                                      std::span<const std::byte> payload) {
+        DaemonEvent ev;
+        ev.op = EventOp::kMessage;
+        ev.group = group;
+        ev.sender = sender;
+        ev.service = service;
+        ev.payload.assign(payload.begin(), payload.end());
+        send_event(fd, ev);
+      };
+      session.on_view = [this, fd](const groups::GroupView& view) {
+        DaemonEvent ev;
+        ev.op = EventOp::kView;
+        ev.group = view.group;
+        ev.view_id = view.view_id;
+        for (const auto& m : view.members) ev.members.push_back(m.name);
+        send_event(fd, ev);
+      };
+      it->second.client = daemon_.connect(std::move(session));
+      DaemonEvent ack;
+      ack.op = EventOp::kConnected;
+      ack.client = it->second.client;
+      send_event(fd, ack);
+      ACCELRING_LOG_INFO(kTag, "accepted client '%s' as session %u",
+                         request->name.c_str(),
+                         unsigned{it->second.client});
+      continue;
+    }
+    if (it->second.client == 0) continue;  // must connect first
+    // Stamp the authenticated session id; clients cannot spoof others.
+    ClientRequest authed = *request;
+    authed.client = it->second.client;
+    daemon_.handle_request(encode(authed));
+    if (request->op == RequestOp::kDisconnect) {
+      close_connection(fd);
+      return;
+    }
+  }
+}
+
+void IpcServer::close_connection(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (it->second.client != 0) daemon_.disconnect(it->second.client);
+  loop_.remove_fd(fd);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+RemoteClient::RemoteClient(const std::string& socket_path, std::string name)
+    : name_(std::move(name)) {
+  fd_ = ::socket(AF_UNIX, SOCK_SEQPACKET, 0);
+  if (fd_ < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+  sockaddr_un addr = make_addr(socket_path);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("connect failed to " + socket_path);
+  }
+  set_nonblocking(fd_);
+  ClientRequest req;
+  req.op = RequestOp::kConnect;
+  req.name = name_;
+  send_request(req);
+}
+
+RemoteClient::~RemoteClient() {
+  if (fd_ >= 0) {
+    if (id_ != 0) {
+      ClientRequest req;
+      req.op = RequestOp::kDisconnect;
+      req.client = id_;
+      send_request(req);
+    }
+    ::close(fd_);
+  }
+}
+
+bool RemoteClient::send_request(const ClientRequest& request) {
+  if (fd_ < 0) return false;
+  const auto frame = encode(request);
+  return ::send(fd_, frame.data(), frame.size(), MSG_NOSIGNAL) ==
+         static_cast<ssize_t>(frame.size());
+}
+
+bool RemoteClient::complete_handshake() {
+  if (id_ != 0) return true;
+  for (const DaemonEvent& ev : poll_events()) {
+    if (ev.op == EventOp::kConnected) {
+      id_ = ev.client;
+      return true;
+    }
+  }
+  return id_ != 0;
+}
+
+std::vector<DaemonEvent> RemoteClient::poll_events() {
+  std::vector<DaemonEvent> events;
+  std::byte buf[65536];
+  while (fd_ >= 0) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n <= 0) break;
+    auto ev = decode_event(
+        std::span<const std::byte>(buf, static_cast<size_t>(n)));
+    if (!ev) continue;
+    if (ev->op == EventOp::kConnected && id_ == 0) id_ = ev->client;
+    events.push_back(std::move(*ev));
+  }
+  return events;
+}
+
+bool RemoteClient::join(const std::string& group) {
+  if (id_ == 0) return false;
+  ClientRequest req;
+  req.op = RequestOp::kJoin;
+  req.client = id_;
+  req.groups = {group};
+  return send_request(req);
+}
+
+bool RemoteClient::leave(const std::string& group) {
+  if (id_ == 0) return false;
+  ClientRequest req;
+  req.op = RequestOp::kLeave;
+  req.client = id_;
+  req.groups = {group};
+  return send_request(req);
+}
+
+bool RemoteClient::send(const std::vector<std::string>& groups,
+                        Service service, std::vector<std::byte> payload) {
+  if (id_ == 0) return false;
+  ClientRequest req;
+  req.op = RequestOp::kSend;
+  req.client = id_;
+  req.groups = groups;
+  req.service = service;
+  req.payload = std::move(payload);
+  return send_request(req);
+}
+
+}  // namespace accelring::daemon

@@ -1,0 +1,86 @@
+// Out-of-process client support: an AF_UNIX SOCK_SEQPACKET server speaking
+// the ipc.hpp framing (paper §III-D: "daemons communicate with local
+// clients using IPC sockets").
+//
+// Each accepted connection becomes one daemon session; ClientRequest frames
+// flow in, DaemonEvent frames flow out (ordered messages, membership views,
+// the connect acknowledgement). SOCK_SEQPACKET preserves message boundaries,
+// so no stream reframing is needed on either side.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "daemon/daemon.hpp"
+#include "transport/event_loop.hpp"
+
+namespace accelring::daemon {
+
+class IpcServer {
+ public:
+  /// Binds and listens on `socket_path` (unlinking any stale socket).
+  /// Throws std::runtime_error on failure.
+  IpcServer(Daemon& daemon, transport::EventLoop& loop,
+            std::string socket_path);
+  ~IpcServer();
+
+  IpcServer(const IpcServer&) = delete;
+  IpcServer& operator=(const IpcServer&) = delete;
+
+  [[nodiscard]] size_t connection_count() const { return conns_.size(); }
+  [[nodiscard]] const std::string& socket_path() const { return path_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    ClientId client = 0;  ///< 0 until the kConnect request arrives
+  };
+
+  void on_accept();
+  void on_readable(int fd);
+  void close_connection(int fd);
+  void send_event(int fd, const DaemonEvent& event);
+
+  Daemon& daemon_;
+  transport::EventLoop& loop_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::map<int, Connection> conns_;
+};
+
+/// Client side of the same protocol: connect to a daemon's unix socket from
+/// any process. Blocking connect, non-blocking event drain.
+class RemoteClient {
+ public:
+  /// Connects and sends the kConnect handshake; complete_handshake() must
+  /// run after the daemon's loop has had a chance to answer. Throws
+  /// std::runtime_error on connection failure.
+  RemoteClient(const std::string& socket_path, std::string name);
+  ~RemoteClient();
+
+  /// Consume the kConnected acknowledgement if it has arrived. Returns true
+  /// once the session id is known; requests before that are rejected.
+  bool complete_handshake();
+
+  RemoteClient(const RemoteClient&) = delete;
+  RemoteClient& operator=(const RemoteClient&) = delete;
+
+  bool join(const std::string& group);
+  bool leave(const std::string& group);
+  bool send(const std::vector<std::string>& groups, Service service,
+            std::vector<std::byte> payload);
+
+  /// Drain any pending daemon events (non-blocking).
+  [[nodiscard]] std::vector<DaemonEvent> poll_events();
+
+  [[nodiscard]] ClientId id() const { return id_; }
+
+ private:
+  bool send_request(const ClientRequest& request);
+
+  int fd_ = -1;
+  std::string name_;
+  ClientId id_ = 0;
+};
+
+}  // namespace accelring::daemon

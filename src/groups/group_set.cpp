@@ -1,0 +1,96 @@
+#include "groups/group_set.hpp"
+
+namespace accelring::groups {
+
+GroupView GroupSet::snapshot(const std::string& name, Group& g) {
+  GroupView view;
+  view.group = name;
+  view.view_id = ++g.view_id;
+  view.members.assign(g.members.begin(), g.members.end());
+  return view;
+}
+
+std::optional<GroupView> GroupSet::join(const std::string& group,
+                                        const Member& m) {
+  Group& g = groups_[group];
+  if (!g.members.insert(m).second) return std::nullopt;
+  return snapshot(group, g);
+}
+
+std::optional<GroupView> GroupSet::leave(const std::string& group,
+                                         const Member& m) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return std::nullopt;
+  if (it->second.members.erase(m) == 0) return std::nullopt;
+  GroupView view = snapshot(group, it->second);
+  if (it->second.members.empty()) groups_.erase(it);
+  return view;
+}
+
+std::vector<GroupView> GroupSet::retain_daemons(
+    const std::set<ProcessId>& alive) {
+  std::vector<GroupView> views;
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    Group& g = it->second;
+    bool changed = false;
+    for (auto mit = g.members.begin(); mit != g.members.end();) {
+      if (!alive.contains(mit->daemon)) {
+        mit = g.members.erase(mit);
+        changed = true;
+      } else {
+        ++mit;
+      }
+    }
+    if (changed) views.push_back(snapshot(it->first, g));
+    if (g.members.empty()) {
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return views;
+}
+
+std::vector<GroupView> GroupSet::drop_client(ProcessId daemon,
+                                             uint32_t client) {
+  std::vector<GroupView> views;
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    Group& g = it->second;
+    bool changed = false;
+    for (auto mit = g.members.begin(); mit != g.members.end();) {
+      if (mit->daemon == daemon && mit->client == client) {
+        mit = g.members.erase(mit);
+        changed = true;
+      } else {
+        ++mit;
+      }
+    }
+    if (changed) views.push_back(snapshot(it->first, g));
+    if (g.members.empty()) {
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return views;
+}
+
+std::vector<Member> GroupSet::members_of(const std::string& group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return {};
+  return {it->second.members.begin(), it->second.members.end()};
+}
+
+bool GroupSet::contains(const std::string& group, const Member& m) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() && it->second.members.contains(m);
+}
+
+std::vector<std::string> GroupSet::group_names() const {
+  std::vector<std::string> names;
+  names.reserve(groups_.size());
+  for (const auto& [name, g] : groups_) names.push_back(name);
+  return names;
+}
+
+}  // namespace accelring::groups

@@ -1,0 +1,75 @@
+// Group membership bookkeeping (the data model behind Spread-style groups).
+//
+// A group is a named set of members; a member is a client identified by
+// (daemon pid, local client id, name). GroupSet is pure state: it applies
+// join/leave/daemon-partition events and answers queries. Consistency across
+// daemons comes from the ordering layer — every daemon applies the same
+// totally-ordered stream of group events to its own GroupSet, so all views
+// agree (groups/group_layer.hpp wires that up).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "protocol/types.hpp"
+
+namespace accelring::groups {
+
+using protocol::ProcessId;
+
+/// A client endpoint within the deployment.
+struct Member {
+  ProcessId daemon = 0;   ///< pid of the daemon the client is connected to
+  uint32_t client = 0;    ///< daemon-local client session id
+  std::string name;       ///< private name ("#user#daemon3")
+
+  auto operator<=>(const Member&) const = default;
+};
+
+/// Immutable snapshot of one group's membership, tagged with a view id that
+/// increments on every change (delivered to clients as a membership view).
+struct GroupView {
+  std::string group;
+  uint64_t view_id = 0;
+  std::vector<Member> members;
+};
+
+class GroupSet {
+ public:
+  /// Apply a join; returns the new view, or nullopt if it was a no-op
+  /// (member already present).
+  std::optional<GroupView> join(const std::string& group, const Member& m);
+
+  /// Apply a leave; returns the new view (empty view if the group vanished),
+  /// or nullopt if the member was not in the group.
+  std::optional<GroupView> leave(const std::string& group, const Member& m);
+
+  /// Remove every member whose daemon is not in `alive` (daemon-level
+  /// membership change). Returns a view per modified group.
+  std::vector<GroupView> retain_daemons(const std::set<ProcessId>& alive);
+
+  /// Remove every member registered by (daemon, client) — client disconnect.
+  std::vector<GroupView> drop_client(ProcessId daemon, uint32_t client);
+
+  [[nodiscard]] std::vector<Member> members_of(const std::string& group) const;
+  [[nodiscard]] bool contains(const std::string& group,
+                              const Member& m) const;
+  [[nodiscard]] size_t group_count() const { return groups_.size(); }
+  [[nodiscard]] std::vector<std::string> group_names() const;
+
+ private:
+  struct Group {
+    uint64_t view_id = 0;
+    std::set<Member> members;
+  };
+
+  GroupView snapshot(const std::string& name, Group& g);
+
+  std::map<std::string, Group> groups_;
+};
+
+}  // namespace accelring::groups

@@ -1,0 +1,146 @@
+#include "harness/cluster.hpp"
+
+#include <cassert>
+
+#include "membership/membership.hpp"
+
+namespace accelring::harness {
+
+NodeSetup NodeSetup::for_profile(ImplProfile profile) {
+  NodeSetup s;
+  switch (profile) {
+    case ImplProfile::kLibrary:
+      // Engine embedded in the application: minimal per-message overhead.
+      s.header_pad = 0;
+      s.client_inject_cost = 0;
+      s.client_deliver_cost = 0;
+      s.group_routing_cost = 0;
+      s.ipc_latency = 0;
+      break;
+    case ImplProfile::kDaemon:
+      // Client <-> daemon IPC on both the send and the delivery path.
+      s.header_pad = 16;
+      s.client_inject_cost = 700;
+      s.client_deliver_cost = 1'000;
+      s.ipc_per_byte = 0.11;
+      s.group_routing_cost = 0;
+      s.ipc_latency = 4'000;
+      break;
+    case ImplProfile::kSpread:
+      // Production system: big headers (group + sender names, routing
+      // metadata) and group-name analysis on every delivery.
+      s.header_pad = 80;
+      s.client_inject_cost = 900;
+      s.client_deliver_cost = 1'100;
+      s.ipc_per_byte = 0.11;
+      s.group_routing_cost = 1'200;
+      s.ipc_latency = 4'000;
+      break;
+  }
+  return s;
+}
+
+SimCluster::SimCluster(int num_nodes, simnet::FabricParams fabric,
+                       protocol::ProtocolConfig cfg, ImplProfile profile,
+                       uint64_t seed)
+    : fabric_(fabric),
+      cfg_(cfg),
+      profile_(profile),
+      setup_(NodeSetup::for_profile(profile)),
+      net_(eq_, fabric, num_nodes, seed) {
+  if (profile == ImplProfile::kSpread) {
+    // Spread 4.4 ships the conservative priority method (paper §III-D).
+    cfg_.priority = protocol::PriorityMethod::kConservative;
+  }
+  // Fragment-count CPU accounting must agree with the fabric's MTU.
+  setup_.proc_costs.mtu = fabric_.mtu;
+  nodes_.resize(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) wire_node(i);
+}
+
+void SimCluster::wire_node(int i) {
+  SimNode& node = nodes_[i];
+  // Socket buffers: 4 MB mirrors a tuned SO_RCVBUF for a high-rate daemon.
+  node.process = std::make_unique<simnet::Process>(eq_, setup_.proc_costs,
+                                                   4 * 1024 * 1024);
+  node.host = std::make_unique<transport::SimHost>(net_, *node.process, i,
+                                                   setup_.host_costs);
+  node.engine = std::make_unique<protocol::Engine>(
+      static_cast<protocol::ProcessId>(i), cfg_, *node.host);
+  node.engine->set_header_pad(setup_.header_pad);
+  node.host->bind(*node.engine);
+  node.process->set_sink(node.host.get());
+  net_.attach(i, [proc = node.process.get()](
+                     simnet::SocketId sock, const simnet::Network::Payload& p) {
+    proc->enqueue(sock, p);
+  });
+
+  node.host->set_deliver([this, i](const protocol::Delivery& delivery) {
+    SimNode& n = nodes_[i];
+    // Daemon/Spread: the daemon spends CPU routing and writing the message
+    // to the receiving client, which then sees it one IPC hop later.
+    n.process->charge(setup_.group_routing_cost + setup_.client_deliver_cost +
+                      static_cast<Nanos>(
+                          static_cast<double>(delivery.payload.size()) *
+                          setup_.ipc_per_byte));
+    const Nanos client_sees = n.process->now() + setup_.ipc_latency;
+    if (on_deliver_) on_deliver_(i, delivery, client_sees);
+  });
+  node.host->set_config([this, i](const protocol::ConfigurationChange& c) {
+    if (on_config_) on_config_(i, c);
+  });
+}
+
+void SimCluster::start_static() {
+  protocol::RingConfig ring;
+  ring.ring_id = membership::make_ring_id(1, 0);
+  for (int i = 0; i < size(); ++i) {
+    ring.members.push_back(static_cast<protocol::ProcessId>(i));
+  }
+  // Bring every node up on its own virtual CPU at time zero; the
+  // representative (node 0) originates the first token.
+  for (int i = size() - 1; i >= 0; --i) {
+    nodes_[i].process->run_soon(
+        [this, i, ring] { nodes_[i].engine->start_with_ring(ring); });
+  }
+}
+
+void SimCluster::start_discovery() {
+  for (int i = 0; i < size(); ++i) {
+    nodes_[i].process->run_soon(
+        [this, i] { nodes_[i].engine->start_discovery(); });
+  }
+}
+
+void SimCluster::submit(int node, protocol::Service service,
+                        std::vector<std::byte> payload) {
+  assert(node >= 0 && node < size());
+  SimNode& n = nodes_[node];
+  const Nanos cpu_cost = setup_.client_inject_cost;
+  if (profile_ == ImplProfile::kLibrary) {
+    // The application and the engine share a process: direct submit.
+    n.process->run_soon(
+        [engine = n.engine.get(), service, p = std::move(payload)]() mutable {
+          engine->submit(service, std::move(p));
+        },
+        cpu_cost);
+    return;
+  }
+  // Daemon/Spread: the client writes to the IPC socket; the daemon reads it
+  // one IPC hop later, paying the read cost on its own CPU.
+  eq_.schedule_after(setup_.ipc_latency, [this, node, service, cpu_cost,
+                                          p = std::move(payload)]() mutable {
+    SimNode& target = nodes_[node];
+    target.process->run_soon(
+        [engine = target.engine.get(), service, p = std::move(p)]() mutable {
+          engine->submit(service, std::move(p));
+        },
+        cpu_cost);
+  });
+}
+
+size_t SimCluster::datagram_size(size_t payload) const {
+  return protocol::DataMsg::encoded_size(payload, setup_.header_pad);
+}
+
+}  // namespace accelring::harness

@@ -1,0 +1,129 @@
+// Simulated cluster assembly: N nodes, one switch, one protocol engine per
+// node, wired per one of the paper's three implementation profiles.
+//
+// The profiles (paper §I, §IV) differ in where the protocol engine runs and
+// what each message crosses on its way to the application:
+//
+//  * Library — the engine is embedded in the application process. Delivery
+//    is an in-process callback; messages carry no extra header.
+//  * Daemon  — the engine runs in a daemon; one sending and one receiving
+//    client per node talk to it over IPC. Injection and delivery each cost
+//    daemon CPU (the IPC read/write) and IPC latency.
+//  * Spread  — the daemon profile plus production-system overheads: large
+//    message headers (group and sender names) and group-routing work on
+//    every delivery. Uses the conservative token-priority method, as shipped
+//    in Spread 4.4.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "protocol/engine.hpp"
+#include "simnet/event_queue.hpp"
+#include "simnet/network.hpp"
+#include "simnet/process.hpp"
+#include "transport/sim_host.hpp"
+
+namespace accelring::harness {
+
+using protocol::Nanos;
+
+enum class ImplProfile { kLibrary, kDaemon, kSpread };
+
+[[nodiscard]] constexpr const char* profile_name(ImplProfile p) {
+  switch (p) {
+    case ImplProfile::kLibrary:
+      return "library";
+    case ImplProfile::kDaemon:
+      return "daemon";
+    case ImplProfile::kSpread:
+      return "spread";
+  }
+  return "?";
+}
+
+/// Per-profile cost model (virtual CPU / latency constants). The values are
+/// calibrated so the three profiles land near the paper's measured maximum
+/// throughputs on the simulated 10-gigabit fabric; see DESIGN.md §1.
+struct NodeSetup {
+  simnet::ProcessCosts proc_costs;
+  transport::HostCosts host_costs;
+  uint16_t header_pad = 0;        ///< extra wire bytes per data message
+  Nanos client_inject_cost = 0;   ///< daemon CPU to read one client message
+  Nanos client_deliver_cost = 0;  ///< daemon CPU to write one delivery
+  double ipc_per_byte = 0;        ///< ns/byte for the IPC copy each way
+  Nanos group_routing_cost = 0;   ///< Spread group-name analysis per delivery
+  Nanos ipc_latency = 0;          ///< one-way client<->daemon latency
+
+  [[nodiscard]] static NodeSetup for_profile(ImplProfile profile);
+};
+
+/// One simulated node: process, host adapter, engine.
+struct SimNode {
+  std::unique_ptr<simnet::Process> process;
+  std::unique_ptr<transport::SimHost> host;
+  std::unique_ptr<protocol::Engine> engine;
+};
+
+class SimCluster {
+ public:
+  /// Called on every application-level delivery: receiving node, the
+  /// delivery, and the time the receiving *client* sees the message.
+  using DeliverFn =
+      std::function<void(int node, const protocol::Delivery&, Nanos at)>;
+  using ConfigFn =
+      std::function<void(int node, const protocol::ConfigurationChange&)>;
+
+  SimCluster(int num_nodes, simnet::FabricParams fabric,
+             protocol::ProtocolConfig cfg, ImplProfile profile,
+             uint64_t seed = 1);
+
+  /// All nodes start on one pre-agreed ring (the benchmark setup).
+  void start_static();
+  /// All nodes run the membership algorithm from scratch.
+  void start_discovery();
+
+  /// Application-level send from `node` at the current simulation time:
+  /// models the full client path of the profile (IPC hop for daemon/Spread,
+  /// direct submit for library). Payload is delivered as-is.
+  void submit(int node, protocol::Service service,
+              std::vector<std::byte> payload);
+
+  void set_on_deliver(DeliverFn fn) { on_deliver_ = std::move(fn); }
+  void set_on_config(ConfigFn fn) { on_config_ = std::move(fn); }
+
+  [[nodiscard]] simnet::EventQueue& eq() { return eq_; }
+  [[nodiscard]] simnet::Network& net() { return net_; }
+  [[nodiscard]] protocol::Engine& engine(int node) {
+    return *nodes_[node].engine;
+  }
+  [[nodiscard]] simnet::Process& process(int node) {
+    return *nodes_[node].process;
+  }
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const NodeSetup& setup() const { return setup_; }
+  [[nodiscard]] ImplProfile profile() const { return profile_; }
+
+  /// Run the simulation until `deadline` (absolute simulated time).
+  void run_until(Nanos deadline) { eq_.run_until(deadline); }
+
+  /// Payload bytes of a data message on the wire for this cluster's profile
+  /// and a given application payload size (for utilization accounting).
+  [[nodiscard]] size_t datagram_size(size_t payload) const;
+
+ private:
+  void wire_node(int i);
+
+  simnet::EventQueue eq_;
+  simnet::FabricParams fabric_;
+  protocol::ProtocolConfig cfg_;
+  ImplProfile profile_;
+  NodeSetup setup_;
+  simnet::Network net_;
+  std::vector<SimNode> nodes_;
+  DeliverFn on_deliver_;
+  ConfigFn on_config_;
+};
+
+}  // namespace accelring::harness

@@ -1,0 +1,108 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace accelring::harness {
+
+PointResult run_point(const PointConfig& config) {
+  SimCluster cluster(config.nodes, config.fabric, config.proto,
+                     config.profile, config.seed);
+  const Nanos window_start = config.warmup;
+  const Nanos window_end = config.warmup + config.measure;
+  LatencyRecorder recorder(config.nodes, window_start, window_end);
+  recorder.attach(cluster);
+
+  RateInjector::Options inject;
+  inject.service = config.service;
+  inject.payload_size = config.payload_size;
+  inject.aggregate_mbps = config.offered_mbps;
+  inject.start = util::usec(100);  // let the ring form first
+  inject.stop = window_end;
+  RateInjector injector(cluster, inject);
+
+  cluster.start_static();
+  injector.arm();
+  // Drain time lets in-flight messages deliver (they only count if they
+  // arrive inside the window).
+  cluster.run_until(window_end + util::msec(50));
+
+  PointResult r;
+  r.offered_mbps = config.offered_mbps;
+  // All receivers see the same aggregate stream; report the mean across
+  // nodes to smooth edge-of-window effects.
+  double sum = 0;
+  for (int i = 0; i < config.nodes; ++i) sum += recorder.node_mbps(i);
+  r.achieved_mbps = sum / config.nodes;
+  r.mean_latency = recorder.latency().mean();
+  r.p50_latency = recorder.latency().percentile(0.5);
+  r.p99_latency = recorder.latency().percentile(0.99);
+  r.messages = recorder.node_messages(0);
+  r.buffer_drops = cluster.net().stats().drops_buffer;
+  for (int i = 0; i < config.nodes; ++i) {
+    const double busy = static_cast<double>(cluster.process(i).busy_time()) /
+                        static_cast<double>(cluster.eq().now());
+    r.max_cpu_utilization = std::max(r.max_cpu_utilization, busy);
+    r.socket_drops += cluster.process(i).socket_drops();
+    r.retransmits += cluster.engine(i).stats().retransmitted;
+    r.rtr_requested += cluster.engine(i).stats().rtr_requested;
+    r.token_retransmits += cluster.engine(i).stats().token_retransmits;
+    r.submit_rejected += cluster.engine(i).stats().submit_rejected;
+  }
+  return r;
+}
+
+Curve run_curve(std::string label, PointConfig base,
+                const std::vector<double>& offered_mbps) {
+  Curve curve;
+  curve.label = std::move(label);
+  for (double mbps : offered_mbps) {
+    base.offered_mbps = mbps;
+    curve.points.push_back(run_point(base));
+  }
+  return curve;
+}
+
+PointResult find_max_throughput(PointConfig base, double start_mbps,
+                                double step_mbps, double ceiling_mbps) {
+  PointResult best;
+  for (double offered = start_mbps; offered <= ceiling_mbps;
+       offered += step_mbps) {
+    base.offered_mbps = offered;
+    const PointResult r = run_point(base);
+    if (r.achieved_mbps > best.achieved_mbps) best = r;
+    // Saturated: achieved falls well short of offered and is no longer
+    // improving, so pushing harder only grows queues.
+    if (r.achieved_mbps < 0.85 * offered) break;
+  }
+  return best;
+}
+
+void print_curve(const Curve& curve) {
+  std::printf("# %s\n", curve.label.c_str());
+  std::printf("%12s %12s %12s %12s %12s %10s %10s %8s\n", "offered_mbps",
+              "achieved", "mean_lat_us", "p50_us", "p99_us", "retrans",
+              "drops", "cpu%");
+  for (const PointResult& p : curve.points) {
+    std::printf("%12.0f %12.1f %12.1f %12.1f %12.1f %10llu %10llu %8.1f\n",
+                p.offered_mbps, p.achieved_mbps, util::to_usec(p.mean_latency),
+                util::to_usec(p.p50_latency), util::to_usec(p.p99_latency),
+                static_cast<unsigned long long>(p.retransmits),
+                static_cast<unsigned long long>(p.buffer_drops +
+                                                p.socket_drops),
+                100.0 * p.max_cpu_utilization);
+  }
+  std::printf("\n");
+}
+
+protocol::ProtocolConfig bench_protocol(protocol::Variant v) {
+  protocol::ProtocolConfig cfg;
+  cfg.variant = v;
+  cfg.priority = protocol::PriorityMethod::kAggressive;
+  cfg.personal_window = 20;
+  cfg.global_window = 160;
+  cfg.accelerated_window = 15;
+  return cfg;
+}
+
+}  // namespace accelring::harness

@@ -1,0 +1,76 @@
+// Experiment driver: run one (protocol, profile, fabric, load) point or a
+// whole latency-vs-throughput series, producing the rows behind each figure
+// in the paper. Used by every binary under bench/ and by the integration
+// tests' smoke checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/cluster.hpp"
+#include "harness/latency.hpp"
+#include "harness/workload.hpp"
+
+namespace accelring::harness {
+
+struct PointConfig {
+  int nodes = 8;
+  simnet::FabricParams fabric = simnet::FabricParams::one_gig();
+  protocol::ProtocolConfig proto;
+  ImplProfile profile = ImplProfile::kLibrary;
+  protocol::Service service = protocol::Service::kAgreed;
+  size_t payload_size = 1350;
+  double offered_mbps = 100.0;
+  Nanos warmup = util::msec(150);
+  Nanos measure = util::msec(600);
+  uint64_t seed = 1;
+};
+
+struct PointResult {
+  double offered_mbps = 0;
+  double achieved_mbps = 0;  ///< clean payload observed at one receiver
+  Nanos mean_latency = 0;
+  Nanos p50_latency = 0;
+  Nanos p99_latency = 0;
+  uint64_t messages = 0;        ///< messages measured (one receiver)
+  uint64_t buffer_drops = 0;    ///< switch port-buffer tail drops
+  uint64_t socket_drops = 0;    ///< host socket-buffer drops
+  uint64_t retransmits = 0;     ///< data retransmissions (all nodes)
+  uint64_t rtr_requested = 0;   ///< retransmission requests added to tokens
+  uint64_t token_retransmits = 0;
+  uint64_t submit_rejected = 0; ///< backpressure at the senders
+  /// Highest per-node virtual CPU utilization over the run (busy time /
+  /// elapsed). The paper stresses that the single-threaded daemon must not
+  /// consume more than one core; this is that number.
+  double max_cpu_utilization = 0;
+};
+
+/// Run one point: build a cluster, inject at the offered rate, measure.
+[[nodiscard]] PointResult run_point(const PointConfig& config);
+
+/// A labelled latency-vs-throughput curve (one line in a paper figure).
+struct Curve {
+  std::string label;
+  std::vector<PointResult> points;
+};
+
+/// Run `base` at each offered load in `offered_mbps`.
+[[nodiscard]] Curve run_curve(std::string label, PointConfig base,
+                              const std::vector<double>& offered_mbps);
+
+/// Step up the offered load from `start_mbps` by `step_mbps` until achieved
+/// throughput stops following offered load (saturation), returning the
+/// highest achieved throughput. Used for the headline "maximum throughput"
+/// numbers in §IV.
+[[nodiscard]] PointResult find_max_throughput(PointConfig base,
+                                              double start_mbps,
+                                              double step_mbps,
+                                              double ceiling_mbps);
+
+/// Print a curve as an aligned table (bench binaries' output format).
+void print_curve(const Curve& curve);
+
+/// Convenience: protocol config for a variant with the benchmark windows.
+[[nodiscard]] protocol::ProtocolConfig bench_protocol(protocol::Variant v);
+
+}  // namespace accelring::harness

@@ -1,0 +1,458 @@
+#include "membership/membership.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace accelring::membership {
+
+namespace {
+constexpr const char* kTag = "membership";
+
+std::vector<ProcessId> sorted(const std::set<ProcessId>& s) {
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+void Membership::adopt_ring(const RingConfig& ring) {
+  old_ring_ = ring;
+  max_epoch_seen_ = std::max(max_epoch_seen_, ring_epoch(ring.ring_id));
+}
+
+void Membership::start_discovery() {
+  old_ring_.ring_id = make_ring_id(0, engine_.self_);
+  old_ring_.members = {engine_.self_};
+  enter_gather();
+}
+
+// ---------------------------------------------------------------------------
+// Gather
+// ---------------------------------------------------------------------------
+
+void Membership::enter_gather() {
+  ++gathers_started_;
+  if (engine_.state_ == State::kRecover) {
+    // Abort the in-progress recovery: content already learned lives in
+    // old_buffer_, so nothing is lost; the next attempt re-sends it.
+    stale_rings_.insert(engine_.ring_.ring_id);
+    engine_.recovery_queue_.clear();
+    eor_received_.clear();
+  } else if (engine_.state_ == State::kOperational) {
+    // The engine buffer stays live during gather so late old-ring traffic is
+    // still absorbed; the snapshot happens on entering recovery.
+    old_ring_ = engine_.ring_;
+    old_safe_line_ = engine_.safe_line_;
+  }
+  engine_.state_ = State::kGather;
+  engine_.host_.cancel_timer(protocol::kTimerTokenRetransmit);
+  engine_.host_.cancel_timer(protocol::kTimerTokenLoss);
+
+  candidates_ = {engine_.self_};
+  fail_set_.clear();
+  joins_.clear();
+  last_commit_id_ = 0;
+  send_join();
+  engine_.host_.set_timer(protocol::kTimerJoin, engine_.cfg_.join_timeout);
+  engine_.host_.set_timer(protocol::kTimerConsensus,
+                          engine_.cfg_.consensus_timeout);
+  ACCELRING_LOG_INFO(kTag, "p%u: entering gather (#%llu)",
+                     unsigned{engine_.self_},
+                     static_cast<unsigned long long>(gathers_started_));
+}
+
+void Membership::send_join() {
+  JoinMsg join;
+  join.sender = engine_.self_;
+  join.old_ring_id = old_ring_.ring_id;
+  join.proc_set = sorted(candidates_);
+  join.fail_set = sorted(fail_set_);
+  joins_[engine_.self_] = join;  // we trivially "received" our own join
+  engine_.host_.multicast(protocol::kSockData, encode(join));
+}
+
+void Membership::on_join(const JoinMsg& join) {
+  if (engine_.state_ == State::kIdle) return;
+  if (join.sender == engine_.self_) return;
+  if (join.fail_set.end() !=
+      std::find(join.fail_set.begin(), join.fail_set.end(), engine_.self_)) {
+    // Someone considers us failed; let them proceed without us. We will
+    // merge with their new ring later via foreign-message detection.
+    return;
+  }
+  if (engine_.state_ != State::kGather) {
+    // A Join always reopens membership: someone wants a configuration that
+    // differs from ours (new process, recovered process, healed partition).
+    enter_gather();
+  }
+
+  max_epoch_seen_ = std::max(max_epoch_seen_, ring_epoch(join.old_ring_id));
+  bool changed = false;
+  if (fail_set_.erase(join.sender) > 0) changed = true;  // alive after all
+  if (candidates_.insert(join.sender).second) changed = true;
+  for (ProcessId p : join.proc_set) {
+    if (fail_set_.contains(p)) continue;
+    if (candidates_.insert(p).second) changed = true;
+  }
+  for (ProcessId p : join.fail_set) {
+    // Adopt failure verdicts from processes we want to form a ring with.
+    if (p == engine_.self_) continue;
+    if (fail_set_.insert(p).second) {
+      candidates_.erase(p);
+      changed = true;
+    }
+  }
+  joins_[join.sender] = join;
+  if (changed) send_join();
+  check_consensus();
+}
+
+bool Membership::join_matches(ProcessId pid) const {
+  const auto it = joins_.find(pid);
+  if (it == joins_.end()) return false;
+  const JoinMsg& join = it->second;
+  return join.proc_set == sorted(candidates_) &&
+         join.fail_set == sorted(fail_set_);
+}
+
+void Membership::check_consensus() {
+  if (engine_.state_ != State::kGather) return;
+  for (ProcessId p : candidates_) {
+    if (!join_matches(p)) return;
+  }
+  // Consensus: every candidate agrees on (proc_set, fail_set).
+  engine_.state_ = State::kCommit;
+  engine_.host_.cancel_timer(protocol::kTimerJoin);
+  engine_.host_.set_timer(protocol::kTimerConsensus,
+                          engine_.cfg_.consensus_timeout);
+  ACCELRING_LOG_INFO(kTag, "p%u: consensus on %zu members",
+                     unsigned{engine_.self_}, candidates_.size());
+  if (*candidates_.begin() == engine_.self_) start_commit();
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------------
+
+void Membership::start_commit() {
+  commit_ = CommitTokenMsg{};
+  commit_.new_ring_id = make_ring_id(max_epoch_seen_ + 1, engine_.self_);
+  commit_.token_id = 1;
+  commit_.rotation = 0;
+  for (ProcessId p : candidates_) {
+    CommitEntry entry;
+    entry.pid = p;
+    commit_.members.push_back(entry);
+  }
+  fill_my_entry(commit_);
+  last_commit_id_ = commit_.token_id;
+  pass_commit(commit_);
+}
+
+void Membership::fill_my_entry(CommitTokenMsg& commit) {
+  for (CommitEntry& entry : commit.members) {
+    if (entry.pid != engine_.self_) continue;
+    entry.old_ring_id = old_ring_.ring_id;
+    entry.old_aru = old_source().local_aru();
+    entry.old_high_seq = old_source().high_seq();
+    entry.old_safe_line =
+        have_snapshot_ ? old_safe_line_ : engine_.safe_line_;
+    entry.filled = true;
+    return;
+  }
+  assert(false && "self not in commit token");
+}
+
+protocol::RecvBuffer& Membership::old_source() {
+  return have_snapshot_ ? old_buffer_ : engine_.buffer_;
+}
+
+void Membership::pass_commit(CommitTokenMsg commit) {
+  // Successor in the proposed ring order (sorted pids), wrapping around.
+  const auto& members = commit.members;
+  size_t my_pos = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i].pid == engine_.self_) my_pos = i;
+  }
+  const ProcessId next = members[(my_pos + 1) % members.size()].pid;
+  ++commit.token_id;
+  engine_.host_.unicast(next, protocol::kSockToken, encode(commit));
+}
+
+void Membership::on_commit(const CommitTokenMsg& commit) {
+  if (engine_.state_ != State::kGather && engine_.state_ != State::kCommit &&
+      engine_.state_ != State::kRecover) {
+    return;  // stale
+  }
+  std::set<ProcessId> pids;
+  for (const CommitEntry& e : commit.members) pids.insert(e.pid);
+  if (!pids.contains(engine_.self_)) return;
+  if (commit.token_id <= last_commit_id_) return;  // duplicate
+
+  if (pids != candidates_) {
+    // The proposed membership no longer matches what we agreed to.
+    enter_gather();
+    return;
+  }
+  last_commit_id_ = commit.token_id;
+  max_epoch_seen_ =
+      std::max(max_epoch_seen_, ring_epoch(commit.new_ring_id));
+
+  if (commit.rotation == 0) {
+    const bool i_created = commit.members.front().pid == engine_.self_ &&
+                           commit.new_ring_id ==
+                               make_ring_id(ring_epoch(commit.new_ring_id),
+                                            engine_.self_);
+    CommitTokenMsg next = commit;
+    bool mine_filled = false;
+    bool all_filled = true;
+    for (const CommitEntry& e : next.members) {
+      if (e.pid == engine_.self_) mine_filled = e.filled;
+      all_filled = all_filled && e.filled;
+    }
+    if (i_created && mine_filled) {
+      // First rotation complete: distribute the full table.
+      if (!all_filled) {
+        enter_gather();  // should not happen; be safe
+        return;
+      }
+      next.rotation = 1;
+      commit_ = next;
+      enter_recover(next);
+      pass_commit(next);
+      // The representative originates the first ordering token of the new
+      // ring. Commit token and ordering token travel the same socket, so
+      // FIFO delivery means every member sees the commit token first.
+      engine_.originate_token();
+      return;
+    }
+    if (mine_filled) return;  // rotation-0 duplicate
+    fill_my_entry(next);
+    commit_ = next;
+    engine_.state_ = State::kCommit;
+    engine_.host_.cancel_timer(protocol::kTimerJoin);
+    engine_.host_.set_timer(protocol::kTimerConsensus,
+                            engine_.cfg_.consensus_timeout);
+    pass_commit(next);
+    return;
+  }
+
+  // rotation == 1: the completed table.
+  if (engine_.state_ == State::kRecover) return;  // already recovering
+  commit_ = commit;
+  enter_recover(commit);
+  pass_commit(commit);
+}
+
+// ---------------------------------------------------------------------------
+// Recover
+// ---------------------------------------------------------------------------
+
+void Membership::enter_recover(const CommitTokenMsg& commit) {
+  commit_table_ = commit.members;
+
+  if (!have_snapshot_) {
+    old_buffer_ = std::move(engine_.buffer_);
+    have_snapshot_ = true;
+    old_safe_line_ = engine_.safe_line_;
+  }
+  stale_rings_.insert(old_ring_.ring_id);
+
+  RingConfig new_ring;
+  new_ring.ring_id = commit.new_ring_id;
+  for (const CommitEntry& e : commit.members) {
+    new_ring.members.push_back(e.pid);
+  }
+  engine_.ring_ = new_ring;
+  engine_.my_index_ = new_ring.index_of(engine_.self_);
+  engine_.reset_ordering_state();
+  engine_.state_ = State::kRecover;
+  engine_.host_.cancel_timer(protocol::kTimerJoin);
+  engine_.host_.cancel_timer(protocol::kTimerConsensus);
+  engine_.host_.set_timer(protocol::kTimerTokenLoss,
+                          engine_.cfg_.token_loss_timeout);
+  eor_received_.clear();
+
+  // Build the recovery send queue: every undiscarded old-ring message above
+  // the minimum aru of my old ring's surviving members, then one Safe
+  // end-of-recovery marker.
+  engine_.recovery_queue_.clear();
+  SeqNum min_aru = std::numeric_limits<SeqNum>::max();
+  for (const CommitEntry& e : commit_table_) {
+    if (e.old_ring_id == old_ring_.ring_id) {
+      min_aru = std::min(min_aru, e.old_aru);
+    }
+  }
+  if (min_aru == std::numeric_limits<SeqNum>::max()) min_aru = 0;
+  size_t recovery_msgs = 0;
+  for (SeqNum seq = min_aru + 1; seq <= old_buffer_.high_seq(); ++seq) {
+    if (const DataMsg* msg = old_buffer_.find(seq)) {
+      protocol::Engine::PendingMsg pm;
+      pm.service = protocol::Service::kAgreed;
+      pm.payload = encode(*msg);
+      pm.recovered = true;
+      engine_.recovery_queue_.push_back(std::move(pm));
+      ++recovery_msgs;
+    }
+  }
+  protocol::Engine::PendingMsg eor;
+  eor.service = protocol::Service::kSafe;
+  eor.recovered = true;
+  engine_.recovery_queue_.push_back(std::move(eor));
+
+  ACCELRING_LOG_INFO(
+      kTag, "p%u: recovering on ring %llx (%zu members, %zu msgs to recover)",
+      unsigned{engine_.self_},
+      static_cast<unsigned long long>(commit.new_ring_id),
+      commit.members.size(), recovery_msgs);
+}
+
+void Membership::on_recovered_delivery(const DataMsg& msg) {
+  if (engine_.state_ != State::kRecover) return;
+  if (msg.payload.empty()) {
+    eor_received_.insert(msg.pid);
+    if (eor_received_.size() == engine_.ring_.size()) finalize_recovery();
+    return;
+  }
+  const auto inner = protocol::decode_data(msg.payload);
+  if (!inner) return;
+  if (inner->ring_id == old_ring_.ring_id) {
+    old_buffer_.insert(*inner);
+  }
+}
+
+void Membership::finalize_recovery() {
+  // Phase 1: messages still deliverable under the old configuration's rules.
+  // The Safe bound must be identical at every member or the same message
+  // would land on different sides of the transitional configuration at
+  // different members: use the MAX of the present old-ring members' safe
+  // lines from the commit table — any single member's line proves receipt
+  // by every old-ring member, including crashed ones.
+  SeqNum shared_safe_line = 0;
+  for (const CommitEntry& e : commit_table_) {
+    if (e.old_ring_id == old_ring_.ring_id) {
+      shared_safe_line = std::max(shared_safe_line, e.old_safe_line);
+    }
+  }
+  auto deliver_old = [&](const DataMsg& msg) {
+    protocol::Delivery d;
+    d.sender = msg.pid;
+    d.seq = msg.seq;
+    d.service = msg.service;
+    d.round = msg.round;
+    d.ring_id = msg.ring_id;
+    d.payload = msg.payload;
+    if (requires_safe(msg.service)) {
+      ++engine_.stats_.delivered_safe;
+    } else {
+      ++engine_.stats_.delivered_agreed;
+    }
+    engine_.host_.deliver(d);
+  };
+  while (const DataMsg* next =
+             old_buffer_.next_deliverable(shared_safe_line)) {
+    const DataMsg msg = *next;
+    old_buffer_.mark_delivered();
+    deliver_old(msg);
+  }
+
+  // Transitional configuration: members of the new ring that came with us
+  // from the old ring (EVS §II).
+  RingConfig transitional;
+  transitional.ring_id = engine_.ring_.ring_id;
+  for (ProcessId p : old_ring_.members) {
+    if (engine_.ring_.index_of(p) >= 0) transitional.members.push_back(p);
+  }
+  engine_.host_.on_configuration(
+      protocol::ConfigurationChange{transitional, /*transitional=*/true});
+
+  // Phase 2: everything else that survived, in sequence order, skipping
+  // holes that no surviving member could fill.
+  for (SeqNum seq = old_buffer_.delivered_up_to() + 1;
+       seq <= old_buffer_.high_seq(); ++seq) {
+    if (const DataMsg* msg = old_buffer_.find(seq)) deliver_old(*msg);
+  }
+
+  // New regular configuration; resume normal operation on the (already
+  // running) new ring.
+  old_ring_ = engine_.ring_;
+  old_buffer_ = protocol::RecvBuffer{};
+  have_snapshot_ = false;
+  old_safe_line_ = 0;
+  commit_table_.clear();
+  eor_received_.clear();
+  engine_.state_ = State::kOperational;
+  ++engine_.stats_.memberships;
+  engine_.host_.on_configuration(
+      protocol::ConfigurationChange{engine_.ring_, /*transitional=*/false});
+  ACCELRING_LOG_INFO(kTag, "p%u: installed ring %llx with %zu members",
+                     unsigned{engine_.self_},
+                     static_cast<unsigned long long>(engine_.ring_.ring_id),
+                     engine_.ring_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Triggers and timers
+// ---------------------------------------------------------------------------
+
+void Membership::on_foreign(ProcessId sender, RingId ring_id) {
+  (void)sender;
+  if (engine_.state_ == State::kIdle) return;
+  if (ring_id == engine_.ring_.ring_id) return;
+  if (stale_rings_.contains(ring_id)) return;
+  max_epoch_seen_ = std::max(max_epoch_seen_, ring_epoch(ring_id));
+  if (engine_.state_ == State::kGather) return;  // joins will converge
+  if ((engine_.state_ == State::kCommit || engine_.state_ == State::kRecover) &&
+      ring_id == commit_.new_ring_id) {
+    return;  // traffic for the ring being formed; not foreign
+  }
+  ACCELRING_LOG_INFO(kTag, "p%u: foreign ring %llx detected",
+                     unsigned{engine_.self_},
+                     static_cast<unsigned long long>(ring_id));
+  enter_gather();
+}
+
+void Membership::on_token_loss() { enter_gather(); }
+
+void Membership::on_timer(protocol::TimerKind kind) {
+  switch (kind) {
+    case protocol::kTimerJoin:
+      if (engine_.state_ == State::kGather) {
+        send_join();
+        check_consensus();
+        if (engine_.state_ == State::kGather) {
+          engine_.host_.set_timer(protocol::kTimerJoin,
+                                  engine_.cfg_.join_timeout);
+        }
+      }
+      break;
+    case protocol::kTimerConsensus:
+      if (engine_.state_ == State::kGather) {
+        // Move silent candidates to the fail set and retry.
+        bool changed = false;
+        for (auto it = candidates_.begin(); it != candidates_.end();) {
+          if (*it != engine_.self_ && !joins_.contains(*it)) {
+            fail_set_.insert(*it);
+            it = candidates_.erase(it);
+            changed = true;
+          } else {
+            ++it;
+          }
+        }
+        if (changed) send_join();
+        check_consensus();
+        if (engine_.state_ == State::kGather) {
+          engine_.host_.set_timer(protocol::kTimerConsensus,
+                                  engine_.cfg_.consensus_timeout);
+        }
+      } else if (engine_.state_ == State::kCommit) {
+        enter_gather();  // commit token lost or a member died
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace accelring::membership

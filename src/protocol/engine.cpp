@@ -1,0 +1,445 @@
+#include "protocol/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "membership/membership.hpp"
+#include "util/log.hpp"
+
+namespace accelring::protocol {
+
+namespace {
+constexpr const char* kTag = "engine";
+}
+
+Engine::Engine(ProcessId self, const ProtocolConfig& cfg, Host& host)
+    : self_(self),
+      cfg_(cfg),
+      host_(host),
+      membership_(std::make_unique<membership::Membership>(*this)),
+      flow_(cfg_) {}
+
+Engine::~Engine() = default;
+
+void Engine::start_with_ring(const RingConfig& ring) {
+  assert(state_ == State::kIdle);
+  assert(ring.index_of(self_) >= 0);
+  membership_->adopt_ring(ring);
+  enter_operational(ring, /*notify_config=*/true);
+  if (ring.representative() == self_) originate_token();
+}
+
+void Engine::start_discovery() {
+  assert(state_ == State::kIdle);
+  membership_->start_discovery();
+}
+
+void Engine::enter_operational(const RingConfig& ring, bool notify_config) {
+  ring_ = ring;
+  my_index_ = ring_.index_of(self_);
+  assert(my_index_ >= 0);
+  reset_ordering_state();
+  state_ = State::kOperational;
+  ++stats_.memberships;
+  trace(util::TraceEvent::kMembership,
+        static_cast<int64_t>(ring_.ring_id & 0xFFFFFFFF),
+        static_cast<int64_t>(ring_.size()));
+  if (notify_config) {
+    host_.on_configuration(ConfigurationChange{ring_, /*transitional=*/false});
+  }
+  host_.set_timer(kTimerTokenLoss, cfg_.token_loss_timeout);
+}
+
+void Engine::reset_ordering_state() {
+  buffer_ = RecvBuffer{};
+  flow_.reset();
+  my_round_ = 0;
+  last_token_id_ = 0;
+  prev_token_seq_ = 0;
+  aru_sent_this_ = 0;
+  aru_sent_prev_ = 0;
+  safe_line_ = 0;
+  token_high_priority_ = false;
+  last_token_sent_.clear();
+  host_.cancel_timer(kTimerTokenRetransmit);
+}
+
+void Engine::originate_token() {
+  TokenMsg token;
+  token.ring_id = ring_.ring_id;
+  token.token_id = 1;
+  token.round = 0;
+  handle_token(token);
+}
+
+bool Engine::submit(Service service, std::vector<std::byte> payload) {
+  if (app_queue_.size() >= cfg_.max_pending) {
+    ++stats_.submit_rejected;
+    return false;
+  }
+  app_queue_.push_back(PendingMsg{service, std::move(payload), false});
+  return true;
+}
+
+void Engine::on_packet(SocketId sock, std::span<const std::byte> packet) {
+  (void)sock;  // demux is by packet type; sockets only affect drain priority
+  const auto type = peek_type(packet);
+  if (!type) return;
+  switch (*type) {
+    case PacketType::kData: {
+      if (auto msg = decode_data(packet)) handle_data(*msg);
+      break;
+    }
+    case PacketType::kToken: {
+      if (auto token = decode_token(packet)) handle_token(*token);
+      break;
+    }
+    case PacketType::kJoin: {
+      if (auto join = decode_join(packet)) membership_->on_join(*join);
+      break;
+    }
+    case PacketType::kCommitToken: {
+      if (auto commit = decode_commit(packet)) membership_->on_commit(*commit);
+      break;
+    }
+  }
+}
+
+void Engine::on_timer(TimerKind kind) {
+  switch (kind) {
+    case kTimerTokenRetransmit:
+      if ((state_ == State::kOperational || state_ == State::kRecover) &&
+          !last_token_sent_.empty()) {
+        ++stats_.token_retransmits;
+        host_.unicast(ring_.successor_of(self_), kSockToken,
+                      last_token_sent_);
+        host_.set_timer(kTimerTokenRetransmit, cfg_.token_retransmit_timeout);
+      }
+      break;
+    case kTimerTokenLoss:
+      if (state_ == State::kOperational || state_ == State::kRecover) {
+        ACCELRING_LOG_INFO(kTag, "p%u: token loss on ring %llu",
+                           unsigned{self_},
+                           static_cast<unsigned long long>(ring_.ring_id));
+        membership_->on_token_loss();
+      }
+      break;
+    case kTimerJoin:
+    case kTimerConsensus:
+      membership_->on_timer(kind);
+      break;
+    default:
+      break;  // baseline timer ids: not used by the ring engine
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data handling (§III-B)
+// ---------------------------------------------------------------------------
+
+void Engine::handle_data(const DataMsg& msg) {
+  if (state_ == State::kIdle) return;
+  if (msg.ring_id != ring_.ring_id) {
+    membership_->on_foreign(msg.pid, msg.ring_id);
+    return;
+  }
+  ++stats_.data_handled;
+  trace(util::TraceEvent::kDataRx, msg.seq, msg.pid);
+
+  // Token-priority switching (§III-C): raise token priority when we process
+  // a data message our immediate ring predecessor sent in the next token
+  // round — for the conservative method, only one sent after the token.
+  if ((state_ == State::kOperational || state_ == State::kRecover) &&
+      !token_high_priority_ && ring_.size() > 1 &&
+      msg.pid == ring_.predecessor_of(self_)) {
+    // The representative bumps the round counter, so its predecessor's
+    // messages for the upcoming token carry the round it just processed;
+    // everyone else sees the next round number.
+    const uint64_t trigger_round = my_round_ + (my_index_ == 0 ? 0 : 1);
+    if (msg.round >= trigger_round &&
+        (cfg_.effective_priority() == PriorityMethod::kAggressive ||
+         msg.post_token)) {
+      token_high_priority_ = true;
+    }
+  }
+
+  // Evidence that the token we passed moved on: a later participant of this
+  // round, or anyone in a newer round, is multicasting.
+  if (msg.round > my_round_ ||
+      (msg.round == my_round_ && ring_.index_of(msg.pid) > my_index_)) {
+    host_.cancel_timer(kTimerTokenRetransmit);
+  }
+
+  if (!buffer_.insert(msg)) {
+    ++stats_.duplicates;
+    return;
+  }
+  deliver_ready();
+}
+
+// ---------------------------------------------------------------------------
+// Token handling (§III-A)
+// ---------------------------------------------------------------------------
+
+void Engine::handle_token(const TokenMsg& received) {
+  if (state_ != State::kOperational && state_ != State::kRecover) return;
+  if (received.ring_id != ring_.ring_id) {
+    membership_->on_foreign(kNoProcess, received.ring_id);
+    return;
+  }
+  if (received.token_id <= last_token_id_) {
+    ++stats_.duplicates;  // retransmitted token we already handled
+    return;
+  }
+  last_token_id_ = received.token_id;
+  host_.cancel_timer(kTimerTokenRetransmit);
+  host_.set_timer(kTimerTokenLoss, cfg_.token_loss_timeout);
+
+  trace(util::TraceEvent::kTokenRx, static_cast<int64_t>(received.round),
+        received.seq);
+  TokenMsg token = received;
+  if (my_index_ == 0) ++token.round;
+  my_round_ = token.round;
+  ++stats_.tokens_handled;
+  if (my_index_ == 0) ++stats_.rounds;
+
+  // --- 1. Retransmissions: always sent in the pre-token phase -------------
+  const uint32_t num_retrans = answer_retransmissions(token.rtr);
+
+  // --- 2. Flow control ------------------------------------------------------
+  const uint32_t allowed =
+      flow_.allowance(pending_count(), token.fcc, num_retrans,
+                      /*global_aru=*/token.aru, token.seq);
+
+  // --- 3. Pre-token multicast phase (§III-A-1) ------------------------------
+  // Prepare every message we will send this round; multicast only those that
+  // overflow the accelerated window, keeping the rest queued for the
+  // post-token phase. Own messages are self-inserted into the receive buffer
+  // at creation (a sender trivially "has" its own messages).
+  const uint32_t accel_window = cfg_.effective_accel_window();
+  const bool aru_was_current = (received.aru == received.seq);
+  std::deque<DataMsg> post_queue;
+  uint32_t initiated = 0;
+  for (uint32_t i = 0; i < allowed; ++i) {
+    auto pending = pop_pending();
+    if (!pending) break;
+    if (cfg_.enable_packing && !pending->recovered) pack_pending(*pending);
+    DataMsg msg;
+    msg.ring_id = ring_.ring_id;
+    msg.seq = ++token.seq;
+    msg.pid = self_;
+    msg.round = my_round_;
+    msg.service = pending->service;
+    msg.recovered = pending->recovered;
+    msg.packed = pending->packed;
+    msg.header_pad = header_pad_;
+    msg.payload = std::move(pending->payload);
+    ++initiated;
+    buffer_.insert(msg);  // self-insertion
+    post_queue.push_back(std::move(msg));
+    if (post_queue.size() > accel_window) {
+      DataMsg front = std::move(post_queue.front());
+      post_queue.pop_front();
+      trace(util::TraceEvent::kDataTxPre, front.seq);
+      host_.multicast(kSockData, encode(front));
+    }
+  }
+  stats_.initiated += initiated;
+
+  // --- 4. aru update (§III-A-2 and [2]) --------------------------------------
+  const SeqNum local_aru = buffer_.local_aru();
+  if (local_aru < token.aru) {
+    token.aru = local_aru;
+    token.aru_id = self_;
+  } else if (token.aru_id == self_) {
+    // We lowered the aru previously and nobody lowered it further since:
+    // raise it to our current local aru.
+    token.aru = std::min(local_aru, token.seq);
+    if (token.aru == token.seq) token.aru_id = kNoProcess;
+  } else if (aru_was_current) {
+    // Everyone had everything: the aru advances in step with seq.
+    token.aru = std::min(local_aru, token.seq);
+  }
+
+  // --- 5. fcc update ---------------------------------------------------------
+  const uint32_t sent_this_round = num_retrans + initiated;
+  token.fcc = flow_.updated_fcc(received.fcc, sent_this_round);
+  flow_.round_complete(sent_this_round);
+
+  // --- 6. rtr additions: bounded by the *previous* round's token seq so that
+  // messages reflected in this token but not yet multicast (the accelerated
+  // window) are not requested unnecessarily (§III-A-2). The original
+  // protocol has no post-token sending, so it may request up to the current
+  // token's seq.
+  const SeqNum rtr_bound =
+      (cfg_.variant == Variant::kOriginal || cfg_.naive_rtr_guard)
+          ? received.seq
+          : prev_token_seq_;
+  const auto missing = buffer_.missing_up_to(rtr_bound, token.rtr);
+  for (SeqNum seq : missing) trace(util::TraceEvent::kRtrAdd, seq);
+  stats_.rtr_requested += missing.size();
+  token.rtr.insert(token.rtr.end(), missing.begin(), missing.end());
+  prev_token_seq_ = received.seq;
+
+  // --- 7. pass the token, then flush the post-token queue (§III-A-3) --------
+  ++token.token_id;
+  const bool ring_idle = sent_this_round == 0 && token.fcc == 0 &&
+                         token.rtr.empty() && token.aru == token.seq;
+  send_token(token, ring_idle);
+  token_high_priority_ = false;  // data has high priority after the token
+  while (!post_queue.empty()) {
+    DataMsg msg = std::move(post_queue.front());
+    post_queue.pop_front();
+    msg.post_token = true;
+    trace(util::TraceEvent::kDataTxPost, msg.seq);
+    host_.multicast(kSockData, encode(msg));
+  }
+
+  // --- 8. deliver and discard (§III-A-4) -------------------------------------
+  aru_sent_prev_ = aru_sent_this_;
+  aru_sent_this_ = token.aru;
+  safe_line_ = std::min(aru_sent_this_, aru_sent_prev_);
+  deliver_ready();
+  buffer_.discard_up_to(safe_line_);
+
+  if (cfg_.auto_tune) maybe_auto_tune();
+}
+
+void Engine::maybe_auto_tune() {
+  if (++tune_rounds_ < cfg_.auto_tune_interval) return;
+  tune_rounds_ = 0;
+  // Loss signal: retransmissions we answered (someone missed our messages)
+  // plus retransmissions we requested (we missed someone's).
+  const uint64_t loss_now = stats_.retransmitted + stats_.rtr_requested;
+  const uint64_t lost = loss_now - tune_last_loss_;
+  tune_last_loss_ = loss_now;
+
+  uint32_t personal = cfg_.personal_window;
+  if (lost > cfg_.auto_tune_interval / 8) {
+    // The ring is dropping: back off multiplicatively.
+    personal = std::max(cfg_.min_personal_window, personal / 2);
+  } else if (app_queue_.size() > personal) {
+    // Clean ring and a backlog: we are window-limited, grow additively.
+    personal = std::min(cfg_.max_personal_window, personal + 4);
+  }
+  if (personal != cfg_.personal_window) {
+    cfg_.personal_window = personal;
+    // Keep the ring-wide cap proportional and the accelerated window at 3/4
+    // of the personal window (the sweet spot in bench/ablation_accel_window).
+    cfg_.global_window = std::max(
+        cfg_.global_window,
+        personal * static_cast<uint32_t>(std::max<size_t>(ring_.size(), 1)));
+    cfg_.accelerated_window = personal * 3 / 4;
+  }
+}
+
+uint32_t Engine::answer_retransmissions(std::vector<SeqNum>& rtr) {
+  uint32_t sent = 0;
+  std::vector<SeqNum> unanswered;
+  unanswered.reserve(rtr.size());
+  for (SeqNum seq : rtr) {
+    if (const DataMsg* msg = buffer_.find(seq)) {
+      trace(util::TraceEvent::kRetransTx, seq);
+      host_.multicast(kSockData, encode(*msg));
+      ++sent;
+    } else {
+      unanswered.push_back(seq);
+    }
+  }
+  stats_.retransmitted += sent;
+  rtr = std::move(unanswered);
+  return sent;
+}
+
+void Engine::send_token(const TokenMsg& token, bool idle) {
+  trace(util::TraceEvent::kTokenTx, static_cast<int64_t>(token.round),
+        token.seq);
+  last_token_sent_ = encode(token);
+  const Nanos hold = idle ? cfg_.idle_token_hold : 0;
+  host_.unicast(ring_.successor_of(self_), kSockToken, last_token_sent_, hold);
+  host_.set_timer(kTimerTokenRetransmit, cfg_.token_retransmit_timeout + hold);
+}
+
+void Engine::deliver_ready() {
+  while (const DataMsg* next = buffer_.next_deliverable(safe_line_)) {
+    // Copy what we need before mutating the buffer.
+    const DataMsg msg = *next;
+    buffer_.mark_delivered();
+    if (msg.recovered) {
+      membership_->on_recovered_delivery(msg);
+      continue;
+    }
+    deliver_one(msg);
+  }
+}
+
+void Engine::deliver_one(const DataMsg& msg) {
+  const auto emit = [&](std::vector<std::byte> payload) {
+    Delivery delivery;
+    delivery.sender = msg.pid;
+    delivery.seq = msg.seq;
+    delivery.service = msg.service;
+    delivery.round = msg.round;
+    delivery.ring_id = msg.ring_id;
+    delivery.payload = std::move(payload);
+    if (requires_safe(msg.service)) {
+      ++stats_.delivered_safe;
+    } else {
+      ++stats_.delivered_agreed;
+    }
+    trace(util::TraceEvent::kDeliver, delivery.seq,
+          static_cast<int64_t>(delivery.service));
+    host_.deliver(delivery);
+  };
+  if (!msg.packed) {
+    emit(msg.payload);
+    return;
+  }
+  // Unpack [u32 length][bytes] frames and deliver each application message
+  // individually, in packing order.
+  util::Reader reader(msg.payload);
+  while (reader.remaining() > 0) {
+    const auto sub = reader.bytes();
+    if (!reader.ok()) break;  // malformed tail: stop, keep what we got
+    emit(util::to_vector(sub));
+  }
+}
+
+bool Engine::pack_pending(PendingMsg& first) {
+  auto& queue = (state_ == State::kRecover) ? recovery_queue_ : app_queue_;
+  // 4-byte length frame per packed message.
+  size_t total = first.payload.size() + 4;
+  if (total > cfg_.packing_budget) return false;
+  std::vector<PendingMsg> extras;
+  while (!queue.empty()) {
+    const PendingMsg& next = queue.front();
+    if (next.recovered || next.packed || next.service != first.service) break;
+    if (total + next.payload.size() + 4 > cfg_.packing_budget) break;
+    total += next.payload.size() + 4;
+    extras.push_back(std::move(queue.front()));
+    queue.pop_front();
+  }
+  if (extras.empty()) return false;
+  util::Writer w(total);
+  w.bytes(first.payload);
+  for (const PendingMsg& extra : extras) w.bytes(extra.payload);
+  first.payload = std::move(w).take();
+  first.packed = true;
+  return true;
+}
+
+std::optional<Engine::PendingMsg> Engine::pop_pending() {
+  auto& queue =
+      (state_ == State::kRecover) ? recovery_queue_ : app_queue_;
+  if (queue.empty()) return std::nullopt;
+  PendingMsg msg = std::move(queue.front());
+  queue.pop_front();
+  return msg;
+}
+
+size_t Engine::pending_count() const {
+  return (state_ == State::kRecover) ? recovery_queue_.size()
+                                     : app_queue_.size();
+}
+
+}  // namespace accelring::protocol

@@ -1,0 +1,3 @@
+// FlowControl is header-only; this translation unit exists so the build
+// catches any missing-definition issues in the header early.
+#include "protocol/flow_control.hpp"

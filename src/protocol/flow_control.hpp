@@ -1,0 +1,67 @@
+// Token-round flow control (§III-A-1).
+//
+// Pure arithmetic, kept separate from the engine so the windows' interaction
+// can be unit-tested exhaustively: the number of new messages a participant
+// may initiate in a round is
+//
+//   min( pending,                                   messages waiting to send
+//        Personal_window,                           per-participant cap
+//        Global_window - token.fcc - num_retrans,   ring-wide cap
+//        Global_aru + Max_seq_gap - token.seq )     receiver-buffer bound
+//
+// and the fcc field is maintained by subtracting what this participant sent
+// last round and adding what it sends this round.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "protocol/types.hpp"
+
+namespace accelring::protocol {
+
+class FlowControl {
+ public:
+  explicit FlowControl(const ProtocolConfig& cfg) : cfg_(cfg) {}
+
+  /// Maximum number of new messages this participant may initiate now.
+  [[nodiscard]] uint32_t allowance(size_t pending, uint32_t token_fcc,
+                                   uint32_t num_retrans, SeqNum global_aru,
+                                   SeqNum token_seq) const {
+    const int64_t by_pending = static_cast<int64_t>(pending);
+    const int64_t by_personal = cfg_.personal_window;
+    const int64_t by_global = static_cast<int64_t>(cfg_.global_window) -
+                              static_cast<int64_t>(token_fcc) -
+                              static_cast<int64_t>(num_retrans);
+    const int64_t by_gap = global_aru + cfg_.max_seq_gap - token_seq;
+    const int64_t allowed = std::min(std::min(by_pending, by_personal),
+                                     std::min(by_global, by_gap));
+    return static_cast<uint32_t>(std::max<int64_t>(allowed, 0));
+  }
+
+  /// New fcc value to place on the token: replace this participant's
+  /// last-round contribution with its current-round contribution.
+  [[nodiscard]] uint32_t updated_fcc(uint32_t token_fcc,
+                                     uint32_t sent_this_round) const {
+    const int64_t fcc = static_cast<int64_t>(token_fcc) -
+                        static_cast<int64_t>(sent_last_round_) +
+                        static_cast<int64_t>(sent_this_round);
+    return static_cast<uint32_t>(std::max<int64_t>(fcc, 0));
+  }
+
+  /// Record the round's sending for next round's fcc accounting.
+  void round_complete(uint32_t sent_this_round) {
+    sent_last_round_ = sent_this_round;
+  }
+
+  /// Forget history (ring change).
+  void reset() { sent_last_round_ = 0; }
+
+  [[nodiscard]] uint32_t sent_last_round() const { return sent_last_round_; }
+
+ private:
+  const ProtocolConfig& cfg_;
+  uint32_t sent_last_round_ = 0;
+};
+
+}  // namespace accelring::protocol

@@ -1,0 +1,128 @@
+// Wire formats for all protocol messages.
+//
+// Every datagram starts with a one-byte packet type followed by a
+// type-specific body and ends with a CRC-32 over everything before it. The
+// codecs are pure functions over byte buffers: encode_* builds a datagram,
+// decode_* parses one and reports failure via std::optional. Decoding copies
+// the payload so the protocol can hold messages beyond the life of the
+// receive buffer.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "protocol/types.hpp"
+#include "util/bytes.hpp"
+
+namespace accelring::protocol {
+
+enum class PacketType : uint8_t {
+  kData = 1,
+  kToken = 2,
+  kJoin = 3,
+  kCommitToken = 4,
+};
+
+/// Peek the packet type without full decoding (for socket demux and tests).
+[[nodiscard]] std::optional<PacketType> peek_type(
+    std::span<const std::byte> packet);
+
+// ---------------------------------------------------------------------------
+// Data messages (§III-B)
+// ---------------------------------------------------------------------------
+
+struct DataMsg {
+  RingId ring_id = 0;
+  SeqNum seq = 0;        ///< position in the total order
+  ProcessId pid = 0;     ///< initiating participant
+  uint64_t round = 0;    ///< token round in which the message was initiated
+  Service service = Service::kAgreed;
+  bool post_token = false;  ///< sent during the post-token multicast phase
+  bool recovered = false;   ///< encapsulates an old-ring message (recovery)
+  /// Payload holds several packed application messages (each framed as
+  /// [u32 length][bytes]); they are unpacked and delivered individually.
+  /// All packed messages share this message's service level.
+  bool packed = false;
+  /// Extra header bytes emulating implementation overhead (e.g. Spread's
+  /// group/sender names); transmitted as zero padding.
+  uint16_t header_pad = 0;
+  std::vector<std::byte> payload;
+
+  /// Serialized datagram size for a given payload length and padding.
+  [[nodiscard]] static size_t encoded_size(size_t payload_len,
+                                           uint16_t header_pad);
+};
+
+[[nodiscard]] std::vector<std::byte> encode(const DataMsg& msg);
+[[nodiscard]] std::optional<DataMsg> decode_data(
+    std::span<const std::byte> packet);
+
+// ---------------------------------------------------------------------------
+// Token messages (§III-A)
+// ---------------------------------------------------------------------------
+
+struct TokenMsg {
+  RingId ring_id = 0;
+  uint64_t token_id = 0;  ///< hop counter; detects duplicate/retransmitted tokens
+  uint64_t round = 0;     ///< rotation counter, incremented by the representative
+  SeqNum seq = 0;         ///< last sequence number claimed (§III-A field 1)
+  SeqNum aru = 0;         ///< all-received-up-to (§III-A field 2)
+  ProcessId aru_id = kNoProcess;  ///< who last lowered the aru
+  uint32_t fcc = 0;       ///< messages multicast during the last round (field 3)
+  std::vector<SeqNum> rtr;  ///< retransmission requests (field 4)
+};
+
+[[nodiscard]] std::vector<std::byte> encode(const TokenMsg& msg);
+[[nodiscard]] std::optional<TokenMsg> decode_token(
+    std::span<const std::byte> packet);
+
+// ---------------------------------------------------------------------------
+// Membership messages (Totem/Spread membership, §II)
+// ---------------------------------------------------------------------------
+
+struct JoinMsg {
+  ProcessId sender = 0;
+  RingId old_ring_id = 0;
+  /// Processes the sender currently believes should form the next ring.
+  std::vector<ProcessId> proc_set;
+  /// Processes the sender has explicitly failed (timeouts during gather).
+  std::vector<ProcessId> fail_set;
+};
+
+[[nodiscard]] std::vector<std::byte> encode(const JoinMsg& msg);
+[[nodiscard]] std::optional<JoinMsg> decode_join(
+    std::span<const std::byte> packet);
+
+/// Per-member state carried by the commit token so every member learns what
+/// must be recovered from each old ring.
+struct CommitEntry {
+  ProcessId pid = 0;
+  RingId old_ring_id = 0;
+  SeqNum old_aru = 0;       ///< member's all-received-up-to in its old ring
+  SeqNum old_high_seq = 0;  ///< highest sequence number member saw in old ring
+  /// Member's Safe-delivery line in the old ring (min of the aru values on
+  /// the last two tokens it sent). Any message at or below *any* member's
+  /// line was token-confirmed received by every old-ring member, so during
+  /// recovery the max over present members bounds what may still be
+  /// delivered under the old configuration's rules — a bound every member
+  /// computes identically from this table.
+  SeqNum old_safe_line = 0;
+  bool filled = false;      ///< entry populated on the first rotation
+};
+
+struct CommitTokenMsg {
+  RingId new_ring_id = 0;
+  uint64_t token_id = 0;
+  /// Ring order of the proposed membership (sorted by pid; index 0 is the
+  /// representative).
+  std::vector<CommitEntry> members;
+  /// 0 while the first rotation fills entries; 1 once complete info loops.
+  uint8_t rotation = 0;
+};
+
+[[nodiscard]] std::vector<std::byte> encode(const CommitTokenMsg& msg);
+[[nodiscard]] std::optional<CommitTokenMsg> decode_commit(
+    std::span<const std::byte> packet);
+
+}  // namespace accelring::protocol

@@ -1,0 +1,127 @@
+#include "rsm/replica.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/crc32.hpp"
+
+namespace accelring::rsm {
+
+namespace {
+
+// RSM frame types inside ordered payloads.
+constexpr uint8_t kCommand = 1;
+constexpr uint8_t kSnapshot = 2;
+
+}  // namespace
+
+Replica::Replica(ProcessId self, StateMachine& machine, SubmitFn submit,
+                 bool founder)
+    : self_(self),
+      machine_(machine),
+      submit_(std::move(submit)),
+      initialized_(founder) {
+  side_floor_ = founder ? self : protocol::kNoProcess;
+}
+
+bool Replica::submit(std::span<const std::byte> command) {
+  util::Writer w(command.size() + 8);
+  w.u8(kCommand);
+  w.raw(command);
+  ++stats_.proposed;
+  return submit_(std::move(w).take());
+}
+
+void Replica::send_snapshot() {
+  const std::vector<std::byte> state = machine_.snapshot();
+  util::Writer w(state.size() + 16);
+  w.u8(kSnapshot);
+  w.u32(util::crc32(state));
+  w.bytes(state);
+  ++stats_.snapshots_sent;
+  submit_(std::move(w).take());
+}
+
+void Replica::on_delivery(const protocol::Delivery& delivery) {
+  if (delivery.payload.empty()) return;
+  switch (static_cast<uint8_t>(delivery.payload[0])) {
+    case kCommand: {
+      if (!initialized_) {
+        // Before our restore point in the total order: the snapshot that
+        // initializes us already covers this command's effect.
+        ++stats_.dropped_uninitialized;
+        return;
+      }
+      machine_.apply(std::span(delivery.payload).subspan(1));
+      ++stats_.applied;
+      break;
+    }
+    case kSnapshot: {
+      util::Reader r(std::span(delivery.payload).subspan(1));
+      const uint32_t crc = r.u32();
+      const auto state = r.bytes();
+      if (!r.done()) return;
+      const ProcessId sender = delivery.sender;
+      if (!initialized_) {
+        // Joiner: restore from the first snapshot and inherit its side.
+        machine_.restore(state);
+        initialized_ = true;
+        side_floor_ = std::min(side_floor_, sender);
+        ++stats_.snapshots_restored;
+        return;
+      }
+      if (sender >= side_floor_ || same_side_.contains(sender)) {
+        // A snapshot from our own side of the last membership change: a
+        // continuous consistency audit — states must match exactly.
+        const std::vector<std::byte> mine = machine_.snapshot();
+        if (util::crc32(mine) == crc) {
+          ++stats_.snapshots_verified;
+        } else if (sender >= side_floor_ && !same_side_.contains(sender)) {
+          // Divergent state from a higher-id merged-in side: ignore (their
+          // replicas will adopt ours / the lowest side's).
+        } else {
+          ++stats_.divergence_detected;
+        }
+        return;
+      }
+      // Snapshot from a lower-id side we just merged with: EVS allowed our
+      // partitions to diverge; the lowest side's state wins. Adopt it.
+      machine_.restore(state);
+      side_floor_ = sender;
+      ++stats_.snapshots_restored;
+      break;
+    }
+    default:
+      break;  // unrelated traffic sharing the ordered stream
+  }
+}
+
+void Replica::on_configuration(const protocol::ConfigurationChange& change) {
+  if (change.transitional) return;
+  std::set<ProcessId> next(change.config.members.begin(),
+                           change.config.members.end());
+
+  // Newcomers = members of the new configuration not in our previous one.
+  bool newcomers = false;
+  for (ProcessId p : next) {
+    if (!members_.contains(p) && p != self_) newcomers = true;
+  }
+  // Veterans from *our* side = new members that were with us before.
+  same_side_.clear();
+  ProcessId lowest_veteran = self_;
+  for (ProcessId p : next) {
+    if (p == self_ || members_.contains(p)) {
+      same_side_.insert(p);
+      lowest_veteran = std::min(lowest_veteran, p);
+    }
+  }
+  if (newcomers && initialized_ && lowest_veteran == self_ &&
+      !members_.empty()) {
+    // We are the lowest-id initialized veteran of our side: ship the state.
+    // Each merging side does the same; the lowest side's snapshot wins.
+    send_snapshot();
+  }
+  members_ = std::move(next);
+}
+
+}  // namespace accelring::rsm

@@ -1,0 +1,57 @@
+#include "simnet/event_queue.hpp"
+
+#include <algorithm>
+
+namespace accelring::simnet {
+
+EventId EventQueue::schedule(Nanos when, Callback cb) {
+  const EventId id = next_id_++;
+  auto holder = std::make_shared<Callback>(std::move(cb));
+  pending_.emplace(id, holder);
+  heap_.push(Entry{std::max(when, now_), id, std::move(holder)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  if (auto sp = it->second.lock()) *sp = nullptr;
+  pending_.erase(it);
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    pending_.erase(e.id);
+    if (!e.cb || !*e.cb) continue;  // cancelled
+    now_ = e.when;
+    ++executed_;
+    // Move the callback out before invoking so a callback that schedules new
+    // events (the common case) cannot be affected by this entry's storage.
+    Callback cb = std::move(*e.cb);
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(Nanos deadline) {
+  while (!heap_.empty()) {
+    // Skip over cancelled entries without advancing time.
+    if (!heap_.top().cb || !*heap_.top().cb) {
+      pending_.erase(heap_.top().id);
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().when > deadline) break;
+    step();
+  }
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace accelring::simnet

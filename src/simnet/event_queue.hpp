@@ -1,0 +1,75 @@
+// Discrete-event simulation core.
+//
+// A single EventQueue drives an entire simulated cluster: network elements,
+// process CPU models, and protocol timers all schedule callbacks at absolute
+// simulated times. Events at equal times fire in scheduling order (a
+// monotonically increasing tie-break sequence number), which keeps runs
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace accelring::simnet {
+
+using util::Nanos;
+
+/// Handle for cancelling a scheduled event.
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to run at absolute time `when` (clamped to >= now).
+  EventId schedule(Nanos when, Callback cb);
+
+  /// Schedule `cb` to run `delay` after the current time.
+  EventId schedule_after(Nanos delay, Callback cb) {
+    return schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired event is a no-op.
+  void cancel(EventId id);
+
+  /// Run the next pending event; returns false when the queue is empty.
+  bool step();
+
+  /// Run events with time <= `deadline`; time stops at the last event run.
+  void run_until(Nanos deadline);
+
+  /// Run until the queue is completely empty.
+  void run_all();
+
+  [[nodiscard]] Nanos now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Nanos when;
+    EventId id;
+    // Cancellation is lazy: cancel() clears the function object through the
+    // shared pointer; popped entries with an empty callback are skipped.
+    std::shared_ptr<Callback> cb;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::weak_ptr<Callback>> pending_;
+  Nanos now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace accelring::simnet

@@ -1,0 +1,156 @@
+#include "simnet/network.hpp"
+
+#include <cassert>
+
+namespace accelring::simnet {
+
+size_t Wire::frames(size_t udp_payload, size_t mtu) {
+  if (udp_payload <= mtu - kIpHeader - kUdpHeader) return 1;
+  // First fragment carries the UDP header; the IP payload of every fragment
+  // except the last is a multiple of 8, but 1480 already is, so the simple
+  // division is exact for our purposes.
+  const size_t ip_payload = udp_payload + kUdpHeader;
+  const size_t per_fragment = mtu - kIpHeader;
+  return (ip_payload + per_fragment - 1) / per_fragment;
+}
+
+size_t Wire::wire_bytes(size_t udp_payload, size_t mtu) {
+  const size_t n = frames(udp_payload, mtu);
+  return udp_payload + kUdpHeader + n * (kIpHeader + kEthOverhead);
+}
+
+FabricParams FabricParams::one_gig() {
+  FabricParams p;
+  p.link_bps = 1e9;
+  p.prop_delay = 300;            // ~60 m cable + PHY
+  p.switch_latency = 4'000;      // Catalyst 2960 fabric, store-and-forward
+  p.port_buffer_bytes = 192 * 1024;
+  p.host_tx_latency = 3'000;     // sendmsg() to wire on 2012-era hosts
+  p.host_rx_latency = 12'000;    // interrupt + stack on 2012-era hosts
+  return p;
+}
+
+FabricParams FabricParams::ten_gig() {
+  FabricParams p;
+  p.link_bps = 1e10;
+  p.prop_delay = 300;
+  p.switch_latency = 2'500;      // Arista 7100T store-and-forward
+  p.port_buffer_bytes = 512 * 1024;
+  p.host_tx_latency = 2'000;
+  p.host_rx_latency = 5'000;     // faster NICs, tighter coalescing
+  return p;
+}
+
+Network::Network(EventQueue& eq, FabricParams params, int num_hosts,
+                 uint64_t seed)
+    : eq_(eq),
+      params_(params),
+      num_hosts_(num_hosts),
+      rng_(seed),
+      sinks_(num_hosts),
+      nic_free_at_(num_hosts, 0),
+      port_free_at_(num_hosts, 0),
+      port_queued_bytes_(num_hosts, 0),
+      partition_(num_hosts, 0),
+      down_(num_hosts, false) {}
+
+void Network::attach(int host, DeliveryFn fn) {
+  assert(host >= 0 && host < num_hosts_);
+  sinks_[host] = std::move(fn);
+}
+
+void Network::send(int src, int dst, SocketId sock,
+                   std::vector<std::byte> data, Nanos when) {
+  assert(src >= 0 && src < num_hosts_);
+  if (down_[src]) return;
+  ++stats_.datagrams_sent;
+
+  const size_t udp_size = data.size();
+  const size_t on_wire = Wire::wire_bytes(udp_size, params_.mtu);
+  const size_t frame_count = Wire::frames(udp_size, params_.mtu);
+  stats_.wire_bytes += on_wire;
+
+  // Uplink: the datagram reaches the NIC after the host tx path, then
+  // serializes onto the wire behind any packets already queued.
+  when = std::max(when, eq_.now());
+  const Nanos nic_start =
+      std::max(when + params_.host_tx_latency, nic_free_at_[src]);
+  const Nanos tx_done = nic_start + params_.serialization_delay(on_wire);
+  nic_free_at_[src] = tx_done;
+  const Nanos arrival = tx_done + params_.prop_delay;  // last bit at switch
+
+  auto payload = std::make_shared<const std::vector<std::byte>>(std::move(data));
+  eq_.schedule(arrival, [this, src, dst, sock, payload, arrival, on_wire,
+                         frame_count] {
+    if (dst == kMulticast) {
+      for (int h = 0; h < num_hosts_; ++h) {
+        if (h == src) continue;
+        forward(src, h, sock, payload, arrival, on_wire, frame_count);
+      }
+    } else {
+      forward(src, dst, sock, payload, arrival, on_wire, frame_count);
+    }
+  });
+}
+
+void Network::forward(int src, int dst, SocketId sock, const Payload& data,
+                      Nanos arrival, size_t bytes_on_wire,
+                      size_t frame_count) {
+  assert(dst >= 0 && dst < num_hosts_);
+  if (down_[dst] || partition_[src] != partition_[dst]) {
+    ++stats_.drops_fault;
+    return;
+  }
+  if (drop_filter_ && drop_filter_(src, dst, sock, *data)) {
+    ++stats_.drops_fault;
+    return;
+  }
+  if (params_.loss_rate > 0) {
+    // A multi-fragment datagram is lost if any fragment is lost.
+    for (size_t f = 0; f < frame_count; ++f) {
+      if (rng_.chance(params_.loss_rate)) {
+        ++stats_.drops_random;
+        return;
+      }
+    }
+  }
+  // Output-port tail drop: if the queue cannot hold the whole datagram, it is
+  // dropped. (Fragments of one datagram are treated as a unit; per-fragment
+  // partial drops would lose the datagram anyway.)
+  if (port_queued_bytes_[dst] + bytes_on_wire > params_.port_buffer_bytes) {
+    ++stats_.drops_buffer;
+    return;
+  }
+  port_queued_bytes_[dst] += bytes_on_wire;
+
+  const Nanos start =
+      std::max(arrival + params_.switch_latency, port_free_at_[dst]);
+  const Nanos done = start + params_.serialization_delay(bytes_on_wire);
+  port_free_at_[dst] = done;
+
+  eq_.schedule(done, [this, dst, bytes_on_wire] {
+    port_queued_bytes_[dst] -= bytes_on_wire;
+  });
+
+  const Nanos delivered = done + params_.prop_delay + params_.host_rx_latency;
+  eq_.schedule(delivered, [this, dst, sock, data] {
+    ++stats_.datagrams_delivered;
+    if (sinks_[dst]) sinks_[dst](sock, data);
+  });
+}
+
+void Network::set_partition(int host, int id) {
+  assert(host >= 0 && host < num_hosts_);
+  partition_[host] = id;
+}
+
+void Network::heal() {
+  for (auto& p : partition_) p = 0;
+}
+
+void Network::set_host_down(int host, bool down) {
+  assert(host >= 0 && host < num_hosts_);
+  down_[host] = down;
+}
+
+}  // namespace accelring::simnet

@@ -1,0 +1,159 @@
+// Simulated switched Ethernet fabric.
+//
+// Models the paper's testbeds: N hosts connected to one store-and-forward
+// switch (a 1-gigabit Cisco Catalyst 2960 or a 10-gigabit Arista 7100T).
+// The model captures exactly the effects the Accelerated Ring paper turns on:
+//
+//  * serialization delay at the sender NIC and again at the switch output
+//    port (store-and-forward),
+//  * finite per-output-port switch buffers with tail drop — the buffering the
+//    accelerated protocol exploits, and the loss mode it must avoid when
+//    participants' sending overlaps too much,
+//  * propagation + switch fabric latency,
+//  * a fixed host tx/rx path latency (NIC + kernel UDP stack) that is *not*
+//    CPU time — the CPU cost of syscalls is charged separately by Process,
+//  * IP fragmentation of UDP datagrams larger than one MTU (the paper's
+//    8850-byte experiments), where losing one fragment loses the datagram,
+//  * optional iid random loss and host/partition fault injection for the
+//    membership tests.
+//
+// Multicast is modelled as switch replication to every port except the
+// ingress port (senders do not hear their own multicasts; the protocol engine
+// self-inserts the messages it sends).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simnet/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace accelring::simnet {
+
+/// Socket indices per host. Token and data travel on distinct sockets so the
+/// receiver can drain them with different priorities (paper §III-D).
+using SocketId = int;
+inline constexpr SocketId kDataSocket = 0;
+inline constexpr SocketId kTokenSocket = 1;
+inline constexpr SocketId kIpcSocket = 2;
+inline constexpr int kNumSockets = 3;
+
+/// Destination value meaning "multicast to every other host".
+inline constexpr int kMulticast = -1;
+
+/// Per-frame and fragmentation constants for Ethernet. The default MTU is
+/// the standard 1500 bytes; pass 9000 to model jumbo frames (the paper
+/// deliberately avoids jumbo frames for portability but notes they may
+/// improve performance further — bench/ablation_jumbo quantifies it).
+struct Wire {
+  static constexpr size_t kMtu = 1500;           // standard IP MTU
+  static constexpr size_t kIpHeader = 20;
+  static constexpr size_t kUdpHeader = 8;
+  // Ethernet header (14) + FCS (4) + preamble/SFD (8) + inter-frame gap (12).
+  static constexpr size_t kEthOverhead = 38;
+  static constexpr size_t kMaxFirstFragment = kMtu - kIpHeader - kUdpHeader;
+  static constexpr size_t kMaxLaterFragment = kMtu - kIpHeader;
+
+  /// Number of Ethernet frames a UDP datagram of `udp_payload` bytes needs.
+  static size_t frames(size_t udp_payload, size_t mtu = kMtu);
+  /// Total bytes on the wire (all frames, all headers, preamble and gap).
+  static size_t wire_bytes(size_t udp_payload, size_t mtu = kMtu);
+};
+
+/// Fabric configuration. Factory functions return models of the paper's two
+/// testbeds; the constants are documented in DESIGN.md §1.
+struct FabricParams {
+  double link_bps = 1e9;            ///< host<->switch line rate, each direction
+  Nanos prop_delay = 300;           ///< one-way cable+PHY per link
+  Nanos switch_latency = 4000;      ///< forwarding decision after last bit in
+  size_t port_buffer_bytes = 256 * 1024;  ///< output-port queue capacity
+  Nanos host_tx_latency = 3000;     ///< kernel+NIC tx path (latency, not CPU)
+  Nanos host_rx_latency = 12000;    ///< kernel+NIC rx path (interrupts, stack)
+  double loss_rate = 0.0;           ///< iid drop probability per receiver
+  size_t mtu = Wire::kMtu;          ///< 1500 standard; 9000 for jumbo frames
+
+  /// 1-gigabit testbed (Catalyst 2960-class store-and-forward switch).
+  static FabricParams one_gig();
+  /// 10-gigabit testbed (Arista 7100T-class switch, lower latency).
+  static FabricParams ten_gig();
+
+  [[nodiscard]] Nanos serialization_delay(size_t bytes_on_wire) const {
+    return static_cast<Nanos>(static_cast<double>(bytes_on_wire) * 8.0 /
+                              link_bps * 1e9);
+  }
+};
+
+/// Aggregate fabric counters, exposed for tests and benchmark sanity checks.
+struct NetworkStats {
+  uint64_t datagrams_sent = 0;       ///< send() calls (multicast counts once)
+  uint64_t datagrams_delivered = 0;  ///< per-receiver deliveries
+  uint64_t drops_buffer = 0;         ///< tail drops at switch output ports
+  uint64_t drops_random = 0;         ///< injected random loss
+  uint64_t drops_fault = 0;          ///< partition / host-down drops
+  uint64_t wire_bytes = 0;           ///< bytes serialized at sender NICs
+};
+
+class Network {
+ public:
+  using Payload = std::shared_ptr<const std::vector<std::byte>>;
+  /// Called when a datagram reaches a host's socket (after host_rx_latency).
+  using DeliveryFn = std::function<void(SocketId sock, const Payload& data)>;
+
+  Network(EventQueue& eq, FabricParams params, int num_hosts,
+          uint64_t seed = 1);
+
+  /// Register the delivery callback for `host` (typically Process::enqueue).
+  void attach(int host, DeliveryFn fn);
+
+  /// Send a UDP datagram from `src` to `dst` (or kMulticast) on `sock`.
+  /// `when` is the time the sending process issues the send (>= the event
+  /// queue's current time); processes mid-handler pass their virtual now.
+  void send(int src, int dst, SocketId sock, std::vector<std::byte> data,
+            Nanos when);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] int num_hosts() const { return num_hosts_; }
+  [[nodiscard]] const FabricParams& params() const { return params_; }
+
+  // --- fault injection -----------------------------------------------------
+
+  /// iid loss applied independently per receiver (fragment-aware: a datagram
+  /// of k frames survives with probability (1-p)^k).
+  void set_loss_rate(double p) { params_.loss_rate = p; }
+
+  /// Assign `host` to partition `id`; traffic crosses only equal ids.
+  void set_partition(int host, int id);
+  /// Put every host back in partition 0.
+  void heal();
+  /// A down host neither sends nor receives.
+  void set_host_down(int host, bool down);
+  [[nodiscard]] bool host_down(int host) const { return down_[host]; }
+
+  /// Targeted fault injection: return true to drop this (src, dst, sock,
+  /// payload) delivery. Called once per receiver, before buffer/loss checks;
+  /// used by tests to lose specific messages at specific hosts.
+  using DropFilter = std::function<bool(int src, int dst, SocketId sock,
+                                        const std::vector<std::byte>& data)>;
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+ private:
+  void forward(int src, int dst, SocketId sock, const Payload& data,
+               Nanos arrival, size_t bytes_on_wire, size_t frame_count);
+
+  EventQueue& eq_;
+  FabricParams params_;
+  int num_hosts_;
+  util::Rng rng_;
+  std::vector<DeliveryFn> sinks_;
+  std::vector<Nanos> nic_free_at_;        // per host: uplink serialization
+  std::vector<Nanos> port_free_at_;       // per host: switch downlink port
+  std::vector<size_t> port_queued_bytes_; // per host: downlink queue occupancy
+  std::vector<int> partition_;
+  std::vector<bool> down_;
+  DropFilter drop_filter_;
+  NetworkStats stats_;
+};
+
+}  // namespace accelring::simnet

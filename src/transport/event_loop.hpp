@@ -1,0 +1,59 @@
+// Minimal poll(2)-based event loop for the real UDP transport.
+//
+// Single-threaded, like the daemons the paper benchmarks: file-descriptor
+// readiness callbacks plus one-shot timers. The poll timeout is derived from
+// the nearest timer deadline, so timers fire without busy-waiting.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace accelring::transport {
+
+using util::Nanos;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop();
+
+  /// Register `fn` to run whenever `fd` is readable. One handler per fd.
+  void add_fd(int fd, Callback fn);
+  void remove_fd(int fd);
+
+  /// (Re)arm one-shot timer `id` to fire `delay` from now.
+  void set_timer(int id, Nanos delay, Callback fn);
+  void cancel_timer(int id);
+
+  /// Monotonic nanoseconds since loop construction.
+  [[nodiscard]] Nanos now() const;
+
+  /// Process events until stop() is called.
+  void run();
+  /// Process events for (approximately) `duration`.
+  void run_for(Nanos duration);
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Timer {
+    Nanos deadline;
+    Callback fn;
+  };
+
+  /// Run timers whose deadline passed; returns ns until the next deadline
+  /// (or -1 if none).
+  Nanos fire_due_timers();
+  void poll_once(Nanos max_wait);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::pair<int, Callback>> fds_;
+  std::map<int, Timer> timers_;
+  bool stopped_ = false;
+};
+
+}  // namespace accelring::transport

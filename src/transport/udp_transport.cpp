@@ -1,0 +1,152 @@
+#include "transport/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace accelring::transport {
+
+namespace {
+
+// Loop-timer ids: 0..15 reserved for protocol TimerKind; internal uses sit
+// above that range.
+constexpr int kDelayedTokenTimer = 100;
+
+int make_udp_socket(const std::string& ip, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const int buf = 4 * 1024 * 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad address: " + ip);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("bind() failed on " + ip + ":" +
+                             std::to_string(port));
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(protocol::ProcessId self,
+                           std::map<protocol::ProcessId, PeerAddress> peers,
+                           EventLoop& loop)
+    : self_(self), peers_(std::move(peers)), loop_(loop) {
+  const auto it = peers_.find(self_);
+  if (it == peers_.end()) throw std::runtime_error("self not in peer map");
+  data_fd_ = make_udp_socket(it->second.ip, it->second.data_port);
+  token_fd_ = make_udp_socket(it->second.ip, it->second.token_port);
+  loop_.add_fd(data_fd_, [this] { on_readable(protocol::kSockData); });
+  loop_.add_fd(token_fd_, [this] { on_readable(protocol::kSockToken); });
+}
+
+UdpTransport::~UdpTransport() {
+  loop_.remove_fd(data_fd_);
+  loop_.remove_fd(token_fd_);
+  if (data_fd_ >= 0) ::close(data_fd_);
+  if (token_fd_ >= 0) ::close(token_fd_);
+}
+
+void UdpTransport::send_to(protocol::ProcessId to, protocol::SocketId sock,
+                           std::span<const std::byte> data) {
+  const auto it = peers_.find(to);
+  if (it == peers_.end()) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(sock == protocol::kSockToken ? it->second.token_port
+                                                     : it->second.data_port);
+  ::inet_pton(AF_INET, it->second.ip.c_str(), &addr.sin_addr);
+  // Send from the matching socket so replies/captures look sane.
+  const int fd = sock == protocol::kSockToken ? token_fd_ : data_fd_;
+  ::sendto(fd, data.data(), data.size(), 0,
+           reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  ++sent_;
+}
+
+void UdpTransport::multicast(protocol::SocketId sock,
+                             std::span<const std::byte> data) {
+  // Unicast fan-out logical multicast (§III-D).
+  for (const auto& [pid, addr] : peers_) {
+    if (pid == self_) continue;
+    send_to(pid, sock, data);
+  }
+}
+
+void UdpTransport::unicast(protocol::ProcessId to, protocol::SocketId sock,
+                           std::span<const std::byte> data, Nanos delay) {
+  if (delay <= 0) {
+    send_to(to, sock, data);
+    return;
+  }
+  // Idle-hold: park the token briefly. A newer send supersedes the pending
+  // one (the engine only ever has one outstanding token).
+  pending_token_.assign(data.begin(), data.end());
+  pending_token_to_ = to;
+  loop_.set_timer(kDelayedTokenTimer, delay, [this, sock] {
+    if (pending_token_to_ == protocol::kNoProcess) return;
+    send_to(pending_token_to_, sock, pending_token_);
+    pending_token_to_ = protocol::kNoProcess;
+  });
+}
+
+void UdpTransport::deliver(const protocol::Delivery& delivery) {
+  if (deliver_) deliver_(delivery);
+}
+
+void UdpTransport::on_configuration(
+    const protocol::ConfigurationChange& change) {
+  if (config_) config_(change);
+}
+
+void UdpTransport::set_timer(protocol::TimerKind kind, Nanos delay) {
+  loop_.set_timer(static_cast<int>(kind), delay, [this, kind] {
+    if (handler_ != nullptr) handler_->on_timer(kind);
+  });
+}
+
+void UdpTransport::cancel_timer(protocol::TimerKind kind) {
+  loop_.cancel_timer(static_cast<int>(kind));
+}
+
+void UdpTransport::on_readable(protocol::SocketId) {
+  // Drain everything available, re-checking priority between datagrams.
+  while (read_one()) {
+  }
+}
+
+bool UdpTransport::read_one() {
+  if (handler_ == nullptr) return false;
+  const protocol::SocketId preferred = handler_->preferred_socket();
+  const int order[2] = {
+      preferred == protocol::kSockToken ? token_fd_ : data_fd_,
+      preferred == protocol::kSockToken ? data_fd_ : token_fd_};
+  std::byte buf[65536];
+  for (const int fd : order) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      ++received_;
+      handler_->on_packet(fd == token_fd_ ? protocol::kSockToken
+                                         : protocol::kSockData,
+                         std::span<const std::byte>(buf, static_cast<size_t>(n)));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace accelring::transport

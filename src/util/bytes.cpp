@@ -1,0 +1,14 @@
+#include "util/bytes.hpp"
+
+#include <cassert>
+
+namespace accelring::util {
+
+void Writer::patch_u32(size_t pos, uint32_t v) {
+  assert(pos + 4 <= buf_.size());
+  for (size_t i = 0; i < 4; ++i) {
+    buf_[pos + i] = std::byte{static_cast<uint8_t>(v >> (8 * i))};
+  }
+}
+
+}  // namespace accelring::util

@@ -1,0 +1,32 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace accelring::util {
+namespace {
+
+constexpr std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+uint32_t crc32(std::span<const std::byte> data) {
+  uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = kTable[(c ^ static_cast<uint32_t>(b)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace accelring::util

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+//
+// The system model assumes messages are not corrupted (§II), but the wire
+// codecs still carry a checksum so the real UDP transport can discard
+// truncated or mangled datagrams instead of feeding them to the protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace accelring::util {
+
+/// CRC-32 of `data` (initial value 0xFFFFFFFF, final xor, reflected poly).
+[[nodiscard]] uint32_t crc32(std::span<const std::byte> data);
+
+}  // namespace accelring::util

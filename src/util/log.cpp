@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace accelring::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag, msg);
+}
+
+}  // namespace accelring::util

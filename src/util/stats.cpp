@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace accelring::util {
+
+void LatencyStats::add(Nanos sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void LatencyStats::clear() {
+  samples_.clear();
+  sorted_ = false;
+}
+
+Nanos LatencyStats::mean() const {
+  if (samples_.empty()) return 0;
+  long double total = 0;
+  for (Nanos s : samples_) total += static_cast<long double>(s);
+  return static_cast<Nanos>(total / static_cast<long double>(samples_.size()));
+}
+
+Nanos LatencyStats::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Nanos LatencyStats::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+Nanos LatencyStats::percentile(double q) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double idx = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return static_cast<Nanos>(static_cast<double>(samples_[lo]) * (1.0 - frac) +
+                            static_cast<double>(samples_[hi]) * frac);
+}
+
+Nanos LatencyStats::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const long double m = static_cast<long double>(mean());
+  long double acc = 0;
+  for (Nanos s : samples_) {
+    const long double d = static_cast<long double>(s) - m;
+    acc += d * d;
+  }
+  return static_cast<Nanos>(
+      std::sqrt(static_cast<double>(acc / static_cast<long double>(samples_.size() - 1))));
+}
+
+std::string LatencyStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "mean=%s p50=%s p99=%s max=%s n=%zu",
+                format_nanos(mean()).c_str(),
+                format_nanos(percentile(0.5)).c_str(),
+                format_nanos(percentile(0.99)).c_str(),
+                format_nanos(max()).c_str(), samples_.size());
+  return buf;
+}
+
+double Meter::mbps(Nanos window) const {
+  if (window <= 0) return 0;
+  return static_cast<double>(bytes_) * 8.0 / (static_cast<double>(window) / 1e9) /
+         1e6;
+}
+
+std::string format_nanos(Nanos n) {
+  char buf[64];
+  if (n < 10 * kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", to_usec(n));
+  } else if (n < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", to_usec(n));
+  } else if (n < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", to_msec(n));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_sec(n));
+  }
+  return buf;
+}
+
+}  // namespace accelring::util

@@ -1,0 +1,65 @@
+// Statistics collection for the benchmark harness.
+//
+// LatencyStats records individual sample values (nanoseconds) and reports
+// mean / percentiles; Counter and Meter track event counts and byte volumes
+// over a measurement window. These are simple exact implementations — the
+// benchmark runs are small enough (hundreds of thousands of samples) that we
+// do not need sketches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace accelring::util {
+
+/// Collects latency samples and computes summary statistics on demand.
+class LatencyStats {
+ public:
+  void add(Nanos sample);
+  void clear();
+
+  [[nodiscard]] size_t count() const { return samples_.size(); }
+  [[nodiscard]] Nanos mean() const;
+  [[nodiscard]] Nanos min() const;
+  [[nodiscard]] Nanos max() const;
+  /// q in [0,1]; e.g. 0.5 for median, 0.99 for p99. Sorts lazily.
+  [[nodiscard]] Nanos percentile(double q) const;
+  [[nodiscard]] Nanos stddev() const;
+
+  /// "mean=312us p50=298us p99=711us n=52344" — for human-readable reports.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  mutable std::vector<Nanos> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Byte/message throughput accounting over an explicit window.
+class Meter {
+ public:
+  void add(uint64_t bytes) {
+    ++messages_;
+    bytes_ += bytes;
+  }
+  void clear() {
+    messages_ = 0;
+    bytes_ = 0;
+  }
+
+  [[nodiscard]] uint64_t messages() const { return messages_; }
+  [[nodiscard]] uint64_t bytes() const { return bytes_; }
+  /// Payload megabits per second over a window of `window` nanoseconds.
+  [[nodiscard]] double mbps(Nanos window) const;
+
+ private:
+  uint64_t messages_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// Formats nanoseconds as a short human-readable string ("312us", "1.24ms").
+[[nodiscard]] std::string format_nanos(Nanos n);
+
+}  // namespace accelring::util

@@ -1,0 +1,28 @@
+// Time types shared by the simulator and the real transports.
+//
+// All protocol and simulator time is an integer nanosecond count (`Nanos`)
+// from an arbitrary epoch (simulation start, or process start for the real
+// transport). Integer time keeps the simulator deterministic and makes
+// latency arithmetic exact.
+#pragma once
+
+#include <cstdint>
+
+namespace accelring::util {
+
+/// Nanoseconds since an arbitrary epoch.
+using Nanos = int64_t;
+
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+constexpr Nanos usec(int64_t n) { return n * kMicrosecond; }
+constexpr Nanos msec(int64_t n) { return n * kMillisecond; }
+constexpr Nanos sec(int64_t n) { return n * kSecond; }
+
+constexpr double to_usec(Nanos n) { return static_cast<double>(n) / 1e3; }
+constexpr double to_msec(Nanos n) { return static_cast<double>(n) / 1e6; }
+constexpr double to_sec(Nanos n) { return static_cast<double>(n) / 1e9; }
+
+}  // namespace accelring::util

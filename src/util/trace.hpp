@@ -1,0 +1,87 @@
+// Protocol flight recorder.
+//
+// A fixed-capacity ring buffer of timestamped protocol events, attachable to
+// any engine. Cheap enough to leave on in production (two stores per
+// event), rich enough for tests to assert *ordering* properties that
+// counters cannot express — e.g. that every retransmission precedes the
+// token send of its round, or that post-token multicasts really do follow
+// the token (the defining behaviour of the Accelerated Ring protocol).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace accelring::util {
+
+enum class TraceEvent : uint8_t {
+  kTokenRx = 1,     ///< a=round, b=token seq
+  kTokenTx = 2,     ///< a=round, b=token seq
+  kDataTxPre = 3,   ///< a=seq (new message sent before the token)
+  kDataTxPost = 4,  ///< a=seq (accelerated-window message after the token)
+  kRetransTx = 5,   ///< a=seq (retransmission answered)
+  kDataRx = 6,      ///< a=seq, b=sender
+  kDeliver = 7,     ///< a=seq, b=service
+  kRtrAdd = 8,      ///< a=seq requested for retransmission
+  kMembership = 9,  ///< a=ring id low bits, b=members
+};
+
+struct TraceRecord {
+  Nanos at = 0;
+  TraceEvent event = TraceEvent::kTokenRx;
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 65536) : capacity_(capacity) {
+    records_.reserve(capacity);
+  }
+
+  void record(Nanos at, TraceEvent event, int64_t a, int64_t b = 0) {
+    if (records_.size() < capacity_) {
+      records_.push_back(TraceRecord{at, event, a, b});
+    } else {
+      records_[next_] = TraceRecord{at, event, a, b};
+      next_ = (next_ + 1) % capacity_;
+      wrapped_ = true;
+    }
+    ++total_;
+  }
+
+  /// Records in chronological order (handles wraparound).
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const {
+    if (!wrapped_) return records_;
+    std::vector<TraceRecord> out;
+    out.reserve(capacity_);
+    out.insert(out.end(), records_.begin() + static_cast<long>(next_),
+               records_.end());
+    out.insert(out.end(), records_.begin(),
+               records_.begin() + static_cast<long>(next_));
+    return out;
+  }
+
+  [[nodiscard]] uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] uint64_t count(TraceEvent event) const {
+    uint64_t n = 0;
+    for (const auto& r : records_) n += r.event == event ? 1 : 0;
+    return n;
+  }
+  void clear() {
+    records_.clear();
+    next_ = 0;
+    wrapped_ = false;
+    total_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<TraceRecord> records_;
+  size_t next_ = 0;
+  bool wrapped_ = false;
+  uint64_t total_ = 0;
+};
+
+}  // namespace accelring::util

@@ -1,0 +1,111 @@
+// Unit tests for the serialization primitives (util/bytes).
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accelring::util {
+namespace {
+
+TEST(Writer, FixedWidthLittleEndian) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  const auto v = w.view();
+  ASSERT_EQ(v.size(), 1u + 2 + 4 + 8);
+  EXPECT_EQ(static_cast<uint8_t>(v[0]), 0xAB);
+  EXPECT_EQ(static_cast<uint8_t>(v[1]), 0x34);  // LE low byte first
+  EXPECT_EQ(static_cast<uint8_t>(v[2]), 0x12);
+  EXPECT_EQ(static_cast<uint8_t>(v[3]), 0xEF);
+  EXPECT_EQ(static_cast<uint8_t>(v[6]), 0xDE);
+  EXPECT_EQ(static_cast<uint8_t>(v[7]), 0x08);
+  EXPECT_EQ(static_cast<uint8_t>(v[14]), 0x01);
+}
+
+TEST(RoundTrip, AllScalarTypes) {
+  Writer w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(4000000000u);
+  w.u64(1ULL << 60);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+  Reader r(w.view());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 4000000000u);
+  EXPECT_EQ(r.u64(), 1ULL << 60);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(RoundTrip, LengthPrefixedBytesAndStrings) {
+  Writer w;
+  const std::vector<std::byte> blob = {std::byte{1}, std::byte{2},
+                                       std::byte{3}};
+  w.bytes(blob);
+  w.str("hello group");
+  w.bytes({});  // empty byte string
+  Reader r(w.view());
+  auto got = r.bytes();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[1], std::byte{2});
+  EXPECT_EQ(r.str(), "hello group");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Reader, UnderrunSetsErrorAndReturnsZero) {
+  Writer w;
+  w.u16(0x0102);
+  Reader r(w.view());
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_EQ(r.u32(), 0u);  // past end
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Reader, TruncatedLengthPrefixFailsSoftly) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow; none do
+  Reader r(w.view());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Reader, DoneOnlyWhenFullyConsumed) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.view());
+  r.u8();
+  EXPECT_FALSE(r.done());
+  r.u8();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Writer, PatchU32BackfillsLength) {
+  Writer w;
+  w.u8(9);
+  const size_t pos = w.size();
+  w.u32(0);  // placeholder
+  w.u8(1);
+  w.u8(2);
+  w.patch_u32(pos, 0xCAFEBABE);
+  Reader r(w.view());
+  r.u8();
+  EXPECT_EQ(r.u32(), 0xCAFEBABE);
+}
+
+TEST(Writer, ReserveDoesNotAffectContents) {
+  Writer w(1024);
+  w.u64(5);
+  EXPECT_EQ(w.size(), 8u);
+}
+
+}  // namespace
+}  // namespace accelring::util

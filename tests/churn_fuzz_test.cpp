@@ -1,0 +1,213 @@
+// Membership churn fuzzing: random schedules of crashes, restarts,
+// partitions, heals, and loss bursts, across many seeds. After the dust
+// settles the survivors must converge to one operational ring, and at every
+// point the Extended Virtual Synchrony contract must have held:
+//
+//  * configuration-stream consistency — processes that installed the same
+//    regular configuration delivered the same messages between that
+//    configuration and the next one they installed;
+//  * no duplicate deliveries, per-sender FIFO at every process;
+//  * liveness — messages submitted by stable members after the final heal
+//    are delivered by every final-ring member.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "harness/cluster.hpp"
+#include "harness/workload.hpp"
+#include "util/rng.hpp"
+
+namespace accelring::harness {
+namespace {
+
+using protocol::RingId;
+using protocol::Service;
+
+struct NodeLog {
+  // Stream of (config marker | message) events.
+  struct Event {
+    bool is_config = false;
+    RingId ring_id = 0;
+    bool transitional = false;
+    uint32_t sender = 0;
+    uint32_t index = 0;
+  };
+  std::vector<Event> events;
+};
+
+class ChurnFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChurnFuzz, ConvergesAndStaysConsistent) {
+  const uint64_t seed = GetParam();
+  const int kNodes = 6;
+  util::Rng rng(seed);
+
+  protocol::ProtocolConfig cfg;
+  cfg.token_loss_timeout = util::msec(30);
+  cfg.join_timeout = util::msec(5);
+  cfg.consensus_timeout = util::msec(60);
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(), cfg,
+                     ImplProfile::kLibrary, seed);
+
+  std::vector<NodeLog> logs(kNodes);
+  cluster.set_on_deliver([&](int node, const protocol::Delivery& d, Nanos) {
+    PayloadStamp stamp;
+    if (!parse_payload(d.payload, stamp)) return;
+    logs[node].events.push_back(
+        NodeLog::Event{false, 0, false, stamp.sender, stamp.index});
+  });
+  cluster.set_on_config(
+      [&](int node, const protocol::ConfigurationChange& c) {
+        logs[node].events.push_back(
+            NodeLog::Event{true, c.config.ring_id, c.transitional, 0, 0});
+      });
+  cluster.start_static();
+
+  // Background traffic throughout (also drives merge detection).
+  uint32_t next_index = 0;
+  for (Nanos t = util::msec(2); t < util::msec(900); t += util::msec(3)) {
+    const int sender = static_cast<int>(rng.below(kNodes));
+    const uint32_t index = next_index++;
+    cluster.eq().schedule(t, [&cluster, sender, index] {
+      if (cluster.net().host_down(sender)) return;
+      PayloadStamp stamp{cluster.eq().now(), static_cast<uint32_t>(sender),
+                         index};
+      cluster.submit(sender, Service::kAgreed, make_payload(64, stamp));
+    });
+  }
+
+  // Random fault schedule in the first 500 ms: crash, restart, partition,
+  // heal, loss burst. Everything is healed/restored by 600 ms.
+  std::set<int> crashed;
+  const int kFaults = 4 + static_cast<int>(rng.below(4));
+  for (int f = 0; f < kFaults; ++f) {
+    const Nanos at = util::msec(50 + static_cast<int64_t>(rng.below(450)));
+    switch (rng.below(4)) {
+      case 0: {  // crash one node (never the whole cluster)
+        const int victim = static_cast<int>(rng.below(kNodes));
+        cluster.eq().schedule(at, [&cluster, victim] {
+          cluster.net().set_host_down(victim, true);
+        });
+        break;
+      }
+      case 1: {  // partition roughly in half
+        cluster.eq().schedule(at, [&cluster, &rng] {
+          for (int i = 0; i < 6; ++i) {
+            cluster.net().set_partition(i, static_cast<int>(rng.below(2)));
+          }
+        });
+        break;
+      }
+      case 2: {  // heal partitions
+        cluster.eq().schedule(at, [&cluster] { cluster.net().heal(); });
+        break;
+      }
+      case 3: {  // loss burst
+        cluster.eq().schedule(at,
+                              [&cluster] { cluster.net().set_loss_rate(0.05); });
+        cluster.eq().schedule(at + util::msec(40),
+                              [&cluster] { cluster.net().set_loss_rate(0.0); });
+        break;
+      }
+    }
+  }
+  // Final heal: everything back up and connected.
+  cluster.eq().schedule(util::msec(600), [&cluster] {
+    cluster.net().heal();
+    cluster.net().set_loss_rate(0.0);
+    for (int i = 0; i < 6; ++i) cluster.net().set_host_down(i, false);
+  });
+  cluster.run_until(util::sec(6));
+
+  // --- Convergence: all nodes operational on one ring of 6. ---------------
+  const RingId final_ring = cluster.engine(0).ring().ring_id;
+  for (int i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(cluster.engine(i).operational())
+        << "node " << i << " seed " << seed;
+    EXPECT_EQ(cluster.engine(i).ring().size(), static_cast<size_t>(kNodes))
+        << "node " << i << " seed " << seed;
+    EXPECT_EQ(cluster.engine(i).ring().ring_id, final_ring)
+        << "node " << i << " seed " << seed;
+  }
+
+  // --- Per-node sanity: no duplicates, per-sender FIFO. --------------------
+  for (int i = 0; i < kNodes; ++i) {
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    std::map<uint32_t, uint32_t> last_index;
+    for (const auto& e : logs[i].events) {
+      if (e.is_config) continue;
+      EXPECT_TRUE(seen.emplace(e.sender, e.index).second)
+          << "duplicate delivery at node " << i << " seed " << seed;
+      const auto it = last_index.find(e.sender);
+      if (it != last_index.end()) {
+        EXPECT_GT(e.index, it->second)
+            << "FIFO violation at node " << i << " seed " << seed;
+      }
+      last_index[e.sender] = e.index;
+    }
+  }
+
+  // --- EVS configuration-stream consistency. -------------------------------
+  // For each regular configuration id, collect each installer's message
+  // stream from that installation to its next regular configuration; all
+  // installers must agree on it.
+  std::map<RingId, std::vector<std::vector<std::pair<uint32_t, uint32_t>>>>
+      streams;
+  for (int i = 0; i < kNodes; ++i) {
+    RingId current = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> msgs;
+    for (const auto& e : logs[i].events) {
+      if (e.is_config && !e.transitional) {
+        if (current != 0) streams[current].push_back(msgs);
+        current = e.ring_id;
+        msgs.clear();
+      } else if (!e.is_config) {
+        msgs.emplace_back(e.sender, e.index);
+      }
+    }
+    if (current != 0) streams[current].push_back(msgs);
+  }
+  for (const auto& [ring_id, per_installer] : streams) {
+    if (ring_id != final_ring) continue;  // epochs before churn may differ
+    for (size_t k = 1; k < per_installer.size(); ++k) {
+      EXPECT_EQ(per_installer[k], per_installer[0])
+          << "config stream divergence in ring " << std::hex << ring_id
+          << " seed " << std::dec << seed;
+    }
+  }
+
+  // --- Liveness: post-heal messages reach everyone. -------------------------
+  std::vector<uint32_t> post_heal;
+  for (int m = 0; m < 10; ++m) {
+    const uint32_t index = 100000 + m;
+    post_heal.push_back(index);
+    cluster.eq().schedule(cluster.eq().now() + m * util::msec(2),
+                          [&cluster, m, index] {
+                            PayloadStamp stamp{0, static_cast<uint32_t>(m % 6),
+                                               index};
+                            cluster.submit(m % 6, Service::kAgreed,
+                                           make_payload(64, stamp));
+                          });
+  }
+  cluster.run_until(cluster.eq().now() + util::sec(2));
+  for (int i = 0; i < kNodes; ++i) {
+    std::set<uint32_t> got;
+    for (const auto& e : logs[i].events) {
+      if (!e.is_config && e.index >= 100000) got.insert(e.index);
+    }
+    EXPECT_EQ(got.size(), post_heal.size())
+        << "post-heal liveness at node " << i << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16, 17, 18, 19,
+                                           20),
+                         [](const ::testing::TestParamInfo<uint64_t>& param) {
+                           return "seed" + std::to_string(param.param);
+                         });
+
+}  // namespace
+}  // namespace accelring::harness

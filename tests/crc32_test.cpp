@@ -1,0 +1,30 @@
+// Unit tests for CRC-32 (known-answer vectors + properties).
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace accelring::util {
+namespace {
+
+TEST(Crc32, KnownAnswerCheckString) {
+  // The canonical CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32(as_bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(crc32({}), 0u); }
+
+TEST(Crc32, SingleBitChangeChangesCrc) {
+  std::vector<std::byte> a(64, std::byte{0});
+  std::vector<std::byte> b = a;
+  b[17] = std::byte{0x01};
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+TEST(Crc32, OrderSensitive) {
+  EXPECT_NE(crc32(as_bytes("ab")), crc32(as_bytes("ba")));
+}
+
+}  // namespace
+}  // namespace accelring::util

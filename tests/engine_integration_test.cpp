@@ -1,0 +1,205 @@
+// Cross-cutting integration tests: token retransmission healing, service
+// levels end-to-end, submissions spanning membership changes, and group
+// codec details not covered by the layer tests.
+#include <gtest/gtest.h>
+
+#include "groups/group_layer.hpp"
+#include "harness/cluster.hpp"
+#include "harness/workload.hpp"
+#include "protocol/wire.hpp"
+
+namespace accelring::harness {
+namespace {
+
+using protocol::PacketType;
+using protocol::Service;
+
+protocol::ProtocolConfig fast_cfg() {
+  protocol::ProtocolConfig cfg;
+  cfg.token_retransmit_timeout = util::msec(3);
+  cfg.token_loss_timeout = util::msec(60);
+  cfg.join_timeout = util::msec(5);
+  cfg.consensus_timeout = util::msec(80);
+  return cfg;
+}
+
+TEST(TokenRetransmission, SingleTokenLossHealsWithoutMembershipChange) {
+  SimCluster cluster(4, simnet::FabricParams::one_gig(), fast_cfg(),
+                     ImplProfile::kLibrary, 3);
+  // Drop exactly one token.
+  int dropped = 0;
+  cluster.net().set_drop_filter(
+      [&dropped](int, int, int sock, const std::vector<std::byte>&) {
+        if (sock == simnet::kTokenSocket && dropped == 0) {
+          ++dropped;
+          return true;
+        }
+        return false;
+      });
+  std::vector<std::vector<protocol::SeqNum>> delivered(4);
+  cluster.set_on_deliver([&](int node, const protocol::Delivery& d, Nanos) {
+    delivered[node].push_back(d.seq);
+  });
+  cluster.start_static();
+  for (int i = 0; i < 20; ++i) {
+    cluster.eq().schedule(util::usec(100) + i * util::usec(200),
+                          [&cluster, i] {
+                            PayloadStamp stamp{cluster.eq().now(),
+                                               static_cast<uint32_t>(i % 4),
+                                               static_cast<uint32_t>(i)};
+                            cluster.submit(i % 4, Service::kAgreed,
+                                           make_payload(64, stamp));
+                          });
+  }
+  cluster.run_until(util::msec(500));
+
+  EXPECT_EQ(dropped, 1);
+  uint64_t token_retransmits = 0;
+  uint64_t memberships = 0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(delivered[i].size(), 20u) << "node " << i;
+    token_retransmits += cluster.engine(i).stats().token_retransmits;
+    memberships = std::max(memberships,
+                           cluster.engine(i).stats().memberships);
+  }
+  EXPECT_GE(token_retransmits, 1u);
+  EXPECT_EQ(memberships, 1u);  // no reconfiguration was needed
+}
+
+TEST(ServiceLevels, AllServicesDeliveredWithCorrectLabels) {
+  SimCluster cluster(3, simnet::FabricParams::one_gig(), {},
+                     ImplProfile::kLibrary);
+  std::vector<Service> seen;
+  cluster.set_on_deliver([&](int node, const protocol::Delivery& d, Nanos) {
+    if (node == 1) seen.push_back(d.service);
+  });
+  cluster.start_static();
+  cluster.eq().schedule(util::usec(100), [&] {
+    for (Service s : {Service::kReliable, Service::kFifo, Service::kCausal,
+                      Service::kAgreed, Service::kSafe}) {
+      PayloadStamp stamp{cluster.eq().now(), 0, static_cast<uint32_t>(s)};
+      cluster.submit(0, s, make_payload(64, stamp));
+    }
+  });
+  cluster.run_until(util::msec(100));
+  // All five service levels arrive, in submission order (one sender), with
+  // their labels intact.
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen[0], Service::kReliable);
+  EXPECT_EQ(seen[1], Service::kFifo);
+  EXPECT_EQ(seen[2], Service::kCausal);
+  EXPECT_EQ(seen[3], Service::kAgreed);
+  EXPECT_EQ(seen[4], Service::kSafe);
+}
+
+TEST(MembershipSpanning, SubmissionsDuringReconfigurationFlowAfterwards) {
+  SimCluster cluster(4, simnet::FabricParams::one_gig(), fast_cfg(),
+                     ImplProfile::kLibrary, 19);
+  std::vector<std::vector<uint32_t>> got(4);
+  cluster.set_on_deliver([&](int node, const protocol::Delivery& d, Nanos) {
+    PayloadStamp stamp;
+    if (parse_payload(d.payload, stamp)) got[node].push_back(stamp.index);
+  });
+  cluster.start_static();
+  cluster.run_until(util::msec(20));
+
+  // Crash node 3, then submit from node 0 IMMEDIATELY — while the others
+  // are still detecting the failure and reforming.
+  cluster.eq().schedule(util::msec(25),
+                        [&] { cluster.net().set_host_down(3, true); });
+  for (int i = 0; i < 10; ++i) {
+    cluster.eq().schedule(util::msec(30) + i * util::msec(5), [&cluster, i] {
+      PayloadStamp stamp{cluster.eq().now(), 0,
+                         static_cast<uint32_t>(1000 + i)};
+      cluster.submit(0, Service::kAgreed, make_payload(64, stamp));
+    });
+  }
+  cluster.run_until(util::sec(2));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(got[i].size(), 10u) << "node " << i;
+    for (int k = 0; k < 10; ++k) {
+      EXPECT_EQ(got[i][k], 1000u + k);  // FIFO across the reconfiguration
+    }
+  }
+}
+
+TEST(GroupCodec, RoundTripAndGarbage) {
+  groups::GroupMsg msg;
+  msg.op = groups::GroupOp::kAppMessage;
+  msg.origin = groups::Member{2, 7, "client#x"};
+  msg.groups = {"alpha", "beta", "gamma"};
+  msg.payload = util::to_vector(util::as_bytes("body"));
+  const auto decoded = groups::decode_group(groups::encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->origin.daemon, 2);
+  EXPECT_EQ(decoded->origin.client, 7u);
+  EXPECT_EQ(decoded->origin.name, "client#x");
+  EXPECT_EQ(decoded->groups, msg.groups);
+  EXPECT_EQ(decoded->payload, msg.payload);
+
+  const std::byte junk[] = {std::byte{0}, std::byte{9}};
+  EXPECT_FALSE(groups::decode_group(junk).has_value());
+  auto truncated = groups::encode(msg);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(groups::decode_group(truncated).has_value());
+}
+
+TEST(EngineStatsTest, CountersAddUp) {
+  SimCluster cluster(3, simnet::FabricParams::one_gig(), {},
+                     ImplProfile::kLibrary);
+  cluster.start_static();
+  for (int i = 0; i < 30; ++i) {
+    cluster.eq().schedule(util::usec(100) + i * util::usec(100),
+                          [&cluster, i] {
+                            PayloadStamp stamp{cluster.eq().now(),
+                                               static_cast<uint32_t>(i % 3),
+                                               static_cast<uint32_t>(i)};
+                            cluster.submit(i % 3, Service::kAgreed,
+                                           make_payload(64, stamp));
+                          });
+  }
+  cluster.run_until(util::msec(200));
+  uint64_t initiated = 0;
+  for (int i = 0; i < 3; ++i) {
+    initiated += cluster.engine(i).stats().initiated;
+    // Every node delivered all 30 messages.
+    EXPECT_EQ(cluster.engine(i).stats().delivered_agreed, 30u);
+    // Tokens circulated (several rounds).
+    EXPECT_GT(cluster.engine(i).stats().tokens_handled, 3u);
+  }
+  EXPECT_EQ(initiated, 30u);
+}
+
+TEST(ForeignTraffic, StrayOldRingPacketsIgnoredAfterReconfiguration) {
+  SimCluster cluster(3, simnet::FabricParams::one_gig(), fast_cfg(),
+                     ImplProfile::kLibrary, 29);
+  cluster.start_static();
+  cluster.run_until(util::msec(20));
+  // Capture the current ring id, force a reconfiguration, then inject a
+  // stale data message from the old ring. It must not disturb anything.
+  const auto old_ring = cluster.engine(0).ring();
+  cluster.eq().schedule(util::msec(25),
+                        [&] { cluster.net().set_host_down(2, true); });
+  cluster.run_until(util::sec(1));
+  ASSERT_EQ(cluster.engine(0).ring().size(), 2u);
+  const auto new_ring_id = cluster.engine(0).ring().ring_id;
+
+  protocol::DataMsg stale;
+  stale.ring_id = old_ring.ring_id;
+  stale.seq = 999;
+  stale.pid = 2;
+  stale.round = 50;
+  stale.payload = util::to_vector(util::as_bytes("ghost"));
+  const auto bytes = encode(stale);
+  cluster.eq().schedule(cluster.eq().now() + util::msec(1), [&, bytes] {
+    cluster.process(0).enqueue(
+        simnet::kDataSocket,
+        std::make_shared<const std::vector<std::byte>>(bytes));
+  });
+  cluster.run_until(cluster.eq().now() + util::msec(500));
+  EXPECT_TRUE(cluster.engine(0).operational());
+  EXPECT_EQ(cluster.engine(0).ring().ring_id, new_ring_id);  // unmoved
+}
+
+}  // namespace
+}  // namespace accelring::harness

@@ -1,0 +1,114 @@
+// Unit tests for the discrete-event queue.
+#include "simnet/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accelring::simnet {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule(30, [&] { order.push_back(3); });
+  eq.schedule(10, [&] { order.push_back(1); });
+  eq.schedule(20, [&] { order.push_back(2); });
+  eq.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eq.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  eq.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+  EventQueue eq;
+  eq.schedule(100, [] {});
+  eq.run_all();
+  Nanos fired_at = -1;
+  eq.schedule(50, [&] { fired_at = eq.now(); });  // in the past
+  eq.run_all();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue eq;
+  bool fired = false;
+  const EventId id = eq.schedule(10, [&] { fired = true; });
+  eq.cancel(id);
+  eq.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue eq;
+  int count = 0;
+  const EventId id = eq.schedule(10, [&] { ++count; });
+  eq.run_all();
+  eq.cancel(id);
+  eq.run_all();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents) {
+  EventQueue eq;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) eq.schedule_after(10, chain);
+  };
+  eq.schedule(0, chain);
+  eq.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(eq.now(), 40);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue eq;
+  int fired = 0;
+  for (Nanos t = 10; t <= 100; t += 10) {
+    eq.schedule(t, [&] { ++fired; });
+  }
+  eq.run_until(50);
+  EXPECT_EQ(fired, 5);
+  EXPECT_FALSE(eq.empty());
+  eq.run_until(1000);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockRunUntil) {
+  EventQueue eq;
+  bool fired = false;
+  const EventId id = eq.schedule(10, [] {});
+  eq.schedule(20, [&] { fired = true; });
+  eq.cancel(id);
+  eq.run_until(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue eq;
+  Nanos fired_at = 0;
+  eq.schedule(100, [&] {
+    eq.schedule_after(50, [&] { fired_at = eq.now(); });
+  });
+  eq.run_all();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(EventQueue, ExecutedCounterCountsOnlyLiveEvents) {
+  EventQueue eq;
+  const EventId id = eq.schedule(5, [] {});
+  eq.schedule(6, [] {});
+  eq.cancel(id);
+  eq.run_all();
+  EXPECT_EQ(eq.events_executed(), 1u);
+}
+
+}  // namespace
+}  // namespace accelring::simnet

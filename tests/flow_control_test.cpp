@@ -1,0 +1,101 @@
+// Unit tests for token-round flow control arithmetic (§III-A-1).
+#include "protocol/flow_control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accelring::protocol {
+namespace {
+
+ProtocolConfig config(uint32_t personal, uint32_t global, SeqNum gap) {
+  ProtocolConfig cfg;
+  cfg.personal_window = personal;
+  cfg.global_window = global;
+  cfg.max_seq_gap = gap;
+  return cfg;
+}
+
+TEST(FlowControl, PendingLimits) {
+  const auto cfg = config(20, 160, 1000);
+  FlowControl fc(cfg);
+  EXPECT_EQ(fc.allowance(/*pending=*/5, /*fcc=*/0, /*retrans=*/0,
+                         /*aru=*/0, /*seq=*/0),
+            5u);
+}
+
+TEST(FlowControl, PersonalWindowLimits) {
+  const auto cfg = config(20, 160, 1000);
+  FlowControl fc(cfg);
+  EXPECT_EQ(fc.allowance(100, 0, 0, 0, 0), 20u);
+}
+
+TEST(FlowControl, GlobalWindowMinusFccAndRetrans) {
+  const auto cfg = config(200, 160, 100000);
+  FlowControl fc(cfg);
+  // 160 - 100 (in flight) - 10 (our retransmissions) = 50
+  EXPECT_EQ(fc.allowance(1000, 100, 10, 0, 0), 50u);
+}
+
+TEST(FlowControl, GlobalWindowExhaustedClampsToZero) {
+  const auto cfg = config(200, 160, 100000);
+  FlowControl fc(cfg);
+  EXPECT_EQ(fc.allowance(1000, 160, 0, 0, 0), 0u);
+  EXPECT_EQ(fc.allowance(1000, 150, 30, 0, 0), 0u);  // would be negative
+}
+
+TEST(FlowControl, SeqGapLimits) {
+  const auto cfg = config(200, 10000, 100);
+  FlowControl fc(cfg);
+  // aru=50, gap=100 -> ceiling 150; seq already at 130 -> 20 allowed.
+  EXPECT_EQ(fc.allowance(1000, 0, 0, 50, 130), 20u);
+  // seq at/above ceiling -> nothing allowed.
+  EXPECT_EQ(fc.allowance(1000, 0, 0, 50, 150), 0u);
+  EXPECT_EQ(fc.allowance(1000, 0, 0, 50, 400), 0u);
+}
+
+TEST(FlowControl, MinOfAllConstraintsWins) {
+  const auto cfg = config(20, 160, 1000);
+  FlowControl fc(cfg);
+  // pending=7 < personal=20 < global slack=60 < gap slack=1000.
+  EXPECT_EQ(fc.allowance(7, 100, 0, 0, 0), 7u);
+}
+
+TEST(FlowControl, FccReplacesOwnContribution) {
+  const auto cfg = config(20, 160, 1000);
+  FlowControl fc(cfg);
+  // Round 1: we sent 12 (fcc had no prior contribution from us).
+  EXPECT_EQ(fc.updated_fcc(/*token_fcc=*/40, /*sent=*/12), 52u);
+  fc.round_complete(12);
+  // Round 2: token says 52 (includes our 12); we now send 3.
+  EXPECT_EQ(fc.updated_fcc(52, 3), 43u);
+  fc.round_complete(3);
+  EXPECT_EQ(fc.sent_last_round(), 3u);
+}
+
+TEST(FlowControl, FccNeverUnderflows) {
+  const auto cfg = config(20, 160, 1000);
+  FlowControl fc(cfg);
+  fc.round_complete(50);
+  // Token fcc smaller than our last contribution (e.g. after ring change
+  // races): clamp at zero rather than wrapping.
+  EXPECT_EQ(fc.updated_fcc(10, 0), 0u);
+}
+
+TEST(FlowControl, ResetForgetsHistory) {
+  const auto cfg = config(20, 160, 1000);
+  FlowControl fc(cfg);
+  fc.round_complete(15);
+  fc.reset();
+  EXPECT_EQ(fc.sent_last_round(), 0u);
+  EXPECT_EQ(fc.updated_fcc(100, 5), 105u);
+}
+
+TEST(FlowControl, RetransmissionsCountAgainstGlobalOnly) {
+  const auto cfg = config(20, 160, 1000);
+  FlowControl fc(cfg);
+  // Retransmissions shrink the global budget but not the personal window.
+  EXPECT_EQ(fc.allowance(1000, 0, 145, 0, 0), 15u);
+  EXPECT_EQ(fc.allowance(1000, 0, 0, 0, 0), 20u);
+}
+
+}  // namespace
+}  // namespace accelring::protocol

@@ -1,0 +1,241 @@
+// Integration tests for the Spread-style group layer over simulated daemons:
+// consistent views, open-group sends, multi-group multicast with cross-group
+// ordering, and daemon-crash handling.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "daemon/client.hpp"
+#include "daemon/daemon.hpp"
+#include "harness/cluster.hpp"
+#include "util/bytes.hpp"
+
+namespace accelring::daemon {
+namespace {
+
+using groups::GroupView;
+using protocol::Service;
+
+/// A SimCluster with one Daemon per node wired into the engines.
+struct DaemonCluster {
+  harness::SimCluster cluster;
+  std::vector<std::unique_ptr<Daemon>> daemons;
+
+  explicit DaemonCluster(int n, uint64_t seed = 1,
+                         protocol::ProtocolConfig cfg = {})
+      : cluster(n, simnet::FabricParams::one_gig(), cfg,
+                harness::ImplProfile::kLibrary, seed) {
+    for (int i = 0; i < n; ++i) {
+      daemons.push_back(std::make_unique<Daemon>(
+          static_cast<protocol::ProcessId>(i), cluster.engine(i)));
+    }
+    cluster.set_on_deliver(
+        [this](int node, const protocol::Delivery& d, protocol::Nanos) {
+          daemons[node]->on_delivery(d);
+        });
+    cluster.set_on_config(
+        [this](int node, const protocol::ConfigurationChange& c) {
+          daemons[node]->on_configuration(c);
+        });
+    cluster.start_static();
+  }
+
+  void run_ms(int64_t ms) { cluster.run_until(cluster.eq().now() + util::msec(ms)); }
+};
+
+struct Received {
+  std::string group;
+  std::string sender;
+  std::string text;
+};
+
+Client::MessageFn collector(std::vector<Received>& out) {
+  return [&out](const std::string& group, const std::string& sender,
+                Service, std::span<const std::byte> payload) {
+    out.push_back(Received{
+        group, sender,
+        std::string(reinterpret_cast<const char*>(payload.data()),
+                    payload.size())});
+  };
+}
+
+std::vector<std::byte> text(const std::string& s) {
+  return util::to_vector(util::as_bytes(s));
+}
+
+TEST(GroupLayer, JoinProducesConsistentViewsEverywhere) {
+  DaemonCluster dc(3);
+  std::vector<GroupView> views_a;
+  std::vector<GroupView> views_b;
+  Client alice(*dc.daemons[0], "alice", {},
+               [&](const GroupView& v) { views_a.push_back(v); });
+  Client bob(*dc.daemons[2], "bob", {},
+             [&](const GroupView& v) { views_b.push_back(v); });
+  alice.join("chat");
+  dc.run_ms(50);
+  bob.join("chat");
+  dc.run_ms(50);
+
+  // Alice saw two views (herself; then herself+bob); bob saw the second.
+  ASSERT_EQ(views_a.size(), 2u);
+  EXPECT_EQ(views_a[0].members.size(), 1u);
+  EXPECT_EQ(views_a[1].members.size(), 2u);
+  ASSERT_EQ(views_b.size(), 1u);
+  EXPECT_EQ(views_b[0].members.size(), 2u);
+  // Same view id for the same membership change at both daemons.
+  EXPECT_EQ(views_a[1].view_id, views_b[0].view_id);
+}
+
+TEST(GroupLayer, MessageReachesAllGroupMembersAcrossDaemons) {
+  DaemonCluster dc(4);
+  std::vector<Received> at_b;
+  std::vector<Received> at_c;
+  Client a(*dc.daemons[0], "a");
+  Client b(*dc.daemons[1], "b", collector(at_b));
+  Client c(*dc.daemons[3], "c", collector(at_c));
+  b.join("room");
+  c.join("room");
+  dc.run_ms(50);
+  a.send("room", Service::kAgreed, text("hello"));  // open group: a not a member
+  dc.run_ms(50);
+
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].text, "hello");
+  EXPECT_EQ(at_b[0].sender, "a");
+  EXPECT_EQ(at_b[0].group, "room");
+  ASSERT_EQ(at_c.size(), 1u);
+  EXPECT_EQ(at_c[0].text, "hello");
+}
+
+TEST(GroupLayer, NonMembersDoNotReceive) {
+  DaemonCluster dc(2);
+  std::vector<Received> at_outsider;
+  Client member_client(*dc.daemons[0], "m");
+  Client outsider(*dc.daemons[1], "o", collector(at_outsider));
+  member_client.join("private");
+  dc.run_ms(50);
+  member_client.send("private", Service::kAgreed, text("secret"));
+  dc.run_ms(50);
+  EXPECT_TRUE(at_outsider.empty());
+}
+
+TEST(GroupLayer, MultiGroupMulticastDeliversOncePerClient) {
+  DaemonCluster dc(2);
+  std::vector<Received> at_x;
+  Client x(*dc.daemons[1], "x", collector(at_x));
+  Client sender(*dc.daemons[0], "s");
+  x.join("g1");
+  x.join("g2");
+  dc.run_ms(50);
+  // x belongs to both target groups but must receive exactly one copy.
+  sender.send(std::vector<std::string>{"g1", "g2"}, Service::kAgreed,
+              text("multi"));
+  dc.run_ms(50);
+  ASSERT_EQ(at_x.size(), 1u);
+  EXPECT_EQ(at_x[0].text, "multi");
+}
+
+TEST(GroupLayer, CrossGroupOrderingIsConsistent) {
+  // Messages to different (overlapping) group sets are seen in the same
+  // relative order by all receivers — the multi-group ordering guarantee.
+  DaemonCluster dc(3);
+  std::vector<Received> at_p;
+  std::vector<Received> at_q;
+  Client p(*dc.daemons[1], "p", collector(at_p));
+  Client q(*dc.daemons[2], "q", collector(at_q));
+  p.join("g1");
+  p.join("g2");
+  q.join("g1");
+  q.join("g2");
+  dc.run_ms(50);
+  Client s0(*dc.daemons[0], "s0");
+  Client s1(*dc.daemons[1], "s1");
+  for (int i = 0; i < 10; ++i) {
+    s0.send("g1", Service::kAgreed, text("a" + std::to_string(i)));
+    s1.send(std::vector<std::string>{"g2", "g1"}, Service::kAgreed,
+            text("b" + std::to_string(i)));
+  }
+  dc.run_ms(200);
+  ASSERT_EQ(at_p.size(), 20u);
+  ASSERT_EQ(at_q.size(), 20u);
+  for (size_t i = 0; i < at_p.size(); ++i) {
+    EXPECT_EQ(at_p[i].text, at_q[i].text) << "position " << i;
+  }
+}
+
+TEST(GroupLayer, LeaveStopsDelivery) {
+  DaemonCluster dc(2);
+  std::vector<Received> at_m;
+  Client m(*dc.daemons[1], "m", collector(at_m));
+  Client s(*dc.daemons[0], "s");
+  m.join("g");
+  dc.run_ms(50);
+  s.send("g", Service::kAgreed, text("one"));
+  dc.run_ms(50);
+  m.leave("g");
+  dc.run_ms(50);
+  s.send("g", Service::kAgreed, text("two"));
+  dc.run_ms(50);
+  ASSERT_EQ(at_m.size(), 1u);
+  EXPECT_EQ(at_m[0].text, "one");
+}
+
+TEST(GroupLayer, DisconnectLeavesAllGroups) {
+  DaemonCluster dc(2);
+  std::vector<GroupView> views_w;
+  Client watcher(*dc.daemons[0], "w", {},
+                 [&](const GroupView& v) { views_w.push_back(v); });
+  watcher.join("g1");
+  dc.run_ms(50);
+  {
+    Client transient(*dc.daemons[1], "t");
+    transient.join("g1");
+    transient.join("g2");
+    dc.run_ms(50);
+    ASSERT_FALSE(views_w.empty());
+    EXPECT_EQ(views_w.back().members.size(), 2u);
+  }  // transient disconnects here
+  dc.run_ms(50);
+  EXPECT_EQ(views_w.back().members.size(), 1u);
+  EXPECT_EQ(views_w.back().members[0].name, "w");
+}
+
+TEST(GroupLayer, DaemonCrashRemovesItsClientsFromGroups) {
+  protocol::ProtocolConfig cfg;
+  cfg.token_loss_timeout = util::msec(30);
+  cfg.join_timeout = util::msec(5);
+  cfg.consensus_timeout = util::msec(60);
+  DaemonCluster dc(3, /*seed=*/17, cfg);
+  std::vector<GroupView> views_a;
+  Client a(*dc.daemons[0], "a", {},
+           [&](const GroupView& v) { views_a.push_back(v); });
+  Client doomed(*dc.daemons[2], "d");
+  a.join("g");
+  doomed.join("g");
+  dc.run_ms(60);
+  ASSERT_FALSE(views_a.empty());
+  ASSERT_EQ(views_a.back().members.size(), 2u);
+
+  dc.cluster.net().set_host_down(2, true);
+  dc.run_ms(2000);
+  // After the membership change, the dead daemon's client is gone.
+  ASSERT_GE(views_a.size(), 2u);
+  EXPECT_EQ(views_a.back().members.size(), 1u);
+  EXPECT_EQ(views_a.back().members[0].name, "a");
+}
+
+TEST(GroupLayer, SafeServiceMessagesFlowThroughGroups) {
+  DaemonCluster dc(3);
+  std::vector<Received> at_r;
+  Client r(*dc.daemons[2], "r", collector(at_r));
+  Client s(*dc.daemons[0], "s");
+  r.join("g");
+  dc.run_ms(50);
+  s.send("g", Service::kSafe, text("stable"));
+  dc.run_ms(100);
+  ASSERT_EQ(at_r.size(), 1u);
+  EXPECT_EQ(at_r[0].text, "stable");
+}
+
+}  // namespace
+}  // namespace accelring::daemon

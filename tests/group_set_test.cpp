@@ -1,0 +1,114 @@
+// Unit tests for group membership bookkeeping.
+#include "groups/group_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accelring::groups {
+namespace {
+
+Member member(ProcessId daemon, uint32_t client, const std::string& name) {
+  return Member{daemon, client, name};
+}
+
+TEST(GroupSet, JoinCreatesGroupAndView) {
+  GroupSet gs;
+  const auto view = gs.join("chat", member(0, 1, "alice"));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->group, "chat");
+  EXPECT_EQ(view->view_id, 1u);
+  ASSERT_EQ(view->members.size(), 1u);
+  EXPECT_EQ(view->members[0].name, "alice");
+  EXPECT_EQ(gs.group_count(), 1u);
+}
+
+TEST(GroupSet, DuplicateJoinIsNoop) {
+  GroupSet gs;
+  EXPECT_TRUE(gs.join("g", member(0, 1, "a")).has_value());
+  EXPECT_FALSE(gs.join("g", member(0, 1, "a")).has_value());
+}
+
+TEST(GroupSet, ViewIdsIncrementPerGroup) {
+  GroupSet gs;
+  EXPECT_EQ(gs.join("g", member(0, 1, "a"))->view_id, 1u);
+  EXPECT_EQ(gs.join("g", member(0, 2, "b"))->view_id, 2u);
+  EXPECT_EQ(gs.join("other", member(0, 1, "a"))->view_id, 1u);
+}
+
+TEST(GroupSet, LeaveRemovesAndEmptyGroupVanishes) {
+  GroupSet gs;
+  gs.join("g", member(0, 1, "a"));
+  gs.join("g", member(1, 1, "b"));
+  auto view = gs.leave("g", member(0, 1, "a"));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->members.size(), 1u);
+  view = gs.leave("g", member(1, 1, "b"));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->members.empty());
+  EXPECT_EQ(gs.group_count(), 0u);
+}
+
+TEST(GroupSet, LeaveNonMemberIsNoop) {
+  GroupSet gs;
+  gs.join("g", member(0, 1, "a"));
+  EXPECT_FALSE(gs.leave("g", member(9, 9, "x")).has_value());
+  EXPECT_FALSE(gs.leave("missing", member(0, 1, "a")).has_value());
+}
+
+TEST(GroupSet, MembersSortedDeterministically) {
+  GroupSet gs;
+  gs.join("g", member(2, 1, "c"));
+  gs.join("g", member(0, 5, "a"));
+  gs.join("g", member(1, 3, "b"));
+  const auto members = gs.members_of("g");
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].daemon, 0);
+  EXPECT_EQ(members[1].daemon, 1);
+  EXPECT_EQ(members[2].daemon, 2);
+}
+
+TEST(GroupSet, RetainDaemonsDropsDeadDaemonsMembers) {
+  GroupSet gs;
+  gs.join("g1", member(0, 1, "a"));
+  gs.join("g1", member(3, 1, "d"));
+  gs.join("g2", member(3, 2, "e"));
+  gs.join("g3", member(1, 1, "b"));
+  const auto views = gs.retain_daemons({0, 1, 2});
+  // g1 shrank, g2 vanished (view emitted, empty), g3 untouched.
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(gs.members_of("g1").size(), 1u);
+  EXPECT_TRUE(gs.members_of("g2").empty());
+  EXPECT_EQ(gs.members_of("g3").size(), 1u);
+  EXPECT_EQ(gs.group_count(), 2u);
+}
+
+TEST(GroupSet, DropClientLeavesAllItsGroups) {
+  GroupSet gs;
+  gs.join("g1", member(0, 1, "a"));
+  gs.join("g2", member(0, 1, "a"));
+  gs.join("g2", member(0, 2, "b"));
+  const auto views = gs.drop_client(0, 1);
+  EXPECT_EQ(views.size(), 2u);
+  EXPECT_TRUE(gs.members_of("g1").empty());
+  EXPECT_EQ(gs.members_of("g2").size(), 1u);
+}
+
+TEST(GroupSet, ContainsQueries) {
+  GroupSet gs;
+  gs.join("g", member(0, 1, "a"));
+  EXPECT_TRUE(gs.contains("g", member(0, 1, "a")));
+  EXPECT_FALSE(gs.contains("g", member(0, 2, "a")));
+  EXPECT_FALSE(gs.contains("h", member(0, 1, "a")));
+}
+
+TEST(GroupSet, GroupNamesListsAll) {
+  GroupSet gs;
+  gs.join("beta", member(0, 1, "a"));
+  gs.join("alpha", member(0, 1, "a"));
+  const auto names = gs.group_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");  // map order: sorted
+  EXPECT_EQ(names[1], "beta");
+}
+
+}  // namespace
+}  // namespace accelring::groups

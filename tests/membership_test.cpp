@@ -1,0 +1,326 @@
+// Integration tests for the membership algorithm: discovery, crash,
+// partition, merge, and Extended Virtual Synchrony configuration delivery.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "harness/cluster.hpp"
+#include "harness/workload.hpp"
+#include "membership/membership.hpp"
+
+namespace accelring::harness {
+namespace {
+
+using protocol::ConfigurationChange;
+using protocol::Delivery;
+using protocol::Service;
+
+/// Records deliveries and configuration changes per node, preserving order.
+struct EvsLog {
+  struct Event {
+    bool is_config = false;
+    // config event
+    protocol::RingId ring_id = 0;
+    bool transitional = false;
+    std::vector<protocol::ProcessId> members;
+    // delivery event
+    uint16_t sender = 0;
+    protocol::SeqNum seq = 0;
+  };
+  std::vector<std::vector<Event>> per_node;
+
+  explicit EvsLog(int nodes) : per_node(nodes) {}
+
+  void attach(SimCluster& cluster) {
+    cluster.set_on_deliver([this](int node, const Delivery& d, Nanos) {
+      Event e;
+      e.sender = d.sender;
+      e.seq = d.seq;
+      e.ring_id = d.ring_id;
+      per_node[node].push_back(e);
+    });
+    cluster.set_on_config([this](int node, const ConfigurationChange& c) {
+      Event e;
+      e.is_config = true;
+      e.ring_id = c.config.ring_id;
+      e.transitional = c.transitional;
+      e.members = c.config.members;
+      per_node[node].push_back(e);
+    });
+  }
+
+  [[nodiscard]] std::vector<Event> configs(int node) const {
+    std::vector<Event> out;
+    for (const Event& e : per_node[node]) {
+      if (e.is_config) out.push_back(e);
+    }
+    return out;
+  }
+  [[nodiscard]] std::vector<std::pair<uint16_t, protocol::SeqNum>> messages(
+      int node) const {
+    std::vector<std::pair<uint16_t, protocol::SeqNum>> out;
+    for (const Event& e : per_node[node]) {
+      if (!e.is_config) out.emplace_back(e.sender, e.seq);
+    }
+    return out;
+  }
+};
+
+protocol::ProtocolConfig fast_membership_config() {
+  protocol::ProtocolConfig cfg;
+  cfg.token_loss_timeout = util::msec(30);
+  cfg.join_timeout = util::msec(5);
+  cfg.consensus_timeout = util::msec(60);
+  return cfg;
+}
+
+TEST(MembershipTest, DiscoveryFormsSingleRing) {
+  const int kNodes = 5;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(),
+                     fast_membership_config(), ImplProfile::kLibrary, 21);
+  EvsLog log(kNodes);
+  log.attach(cluster);
+  cluster.start_discovery();
+  cluster.run_until(util::sec(2));
+
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_TRUE(cluster.engine(i).operational()) << "node " << i;
+    EXPECT_EQ(cluster.engine(i).ring().size(), static_cast<size_t>(kNodes));
+  }
+  // Everyone installed the same final ring.
+  const auto ring_id = cluster.engine(0).ring().ring_id;
+  for (int i = 1; i < kNodes; ++i) {
+    EXPECT_EQ(cluster.engine(i).ring().ring_id, ring_id);
+  }
+  // Each node's last configuration event is a regular config with 5 members.
+  for (int i = 0; i < kNodes; ++i) {
+    const auto configs = log.configs(i);
+    ASSERT_FALSE(configs.empty());
+    EXPECT_FALSE(configs.back().transitional);
+    EXPECT_EQ(configs.back().members.size(), static_cast<size_t>(kNodes));
+  }
+}
+
+TEST(MembershipTest, SingletonDiscovery) {
+  SimCluster cluster(1, simnet::FabricParams::one_gig(),
+                     fast_membership_config(), ImplProfile::kLibrary);
+  EvsLog log(1);
+  log.attach(cluster);
+  cluster.start_discovery();
+  cluster.run_until(util::msec(500));
+  EXPECT_TRUE(cluster.engine(0).operational());
+  EXPECT_EQ(cluster.engine(0).ring().size(), 1u);
+}
+
+TEST(MembershipTest, MessagesFlowAfterDiscovery) {
+  const int kNodes = 4;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(),
+                     fast_membership_config(), ImplProfile::kLibrary, 5);
+  EvsLog log(kNodes);
+  log.attach(cluster);
+  cluster.start_discovery();
+  // Submit before the ring even forms; messages queue and flow once up.
+  for (int i = 0; i < kNodes; ++i) {
+    PayloadStamp stamp{0, static_cast<uint32_t>(i), 0};
+    cluster.submit(i, Service::kAgreed, make_payload(64, stamp));
+  }
+  cluster.run_until(util::sec(2));
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(log.messages(i).size(), static_cast<size_t>(kNodes));
+    EXPECT_EQ(log.messages(i), log.messages(0));
+  }
+}
+
+TEST(MembershipTest, CrashTriggersReconfiguration) {
+  const int kNodes = 5;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(),
+                     fast_membership_config(), ImplProfile::kLibrary, 9);
+  EvsLog log(kNodes);
+  log.attach(cluster);
+  cluster.start_static();
+  cluster.run_until(util::msec(50));
+
+  // Kill node 2.
+  cluster.eq().schedule(util::msec(60),
+                        [&] { cluster.net().set_host_down(2, true); });
+  cluster.run_until(util::sec(3));
+
+  for (int i = 0; i < kNodes; ++i) {
+    if (i == 2) continue;
+    ASSERT_TRUE(cluster.engine(i).operational()) << "node " << i;
+    EXPECT_EQ(cluster.engine(i).ring().size(), static_cast<size_t>(kNodes - 1))
+        << "node " << i;
+    // EVS: a transitional configuration was delivered before the new
+    // regular configuration.
+    const auto configs = log.configs(i);
+    ASSERT_GE(configs.size(), 3u);  // initial, transitional, regular
+    EXPECT_FALSE(configs.back().transitional);
+    EXPECT_TRUE(configs[configs.size() - 2].transitional);
+    EXPECT_EQ(configs.back().members.size(), static_cast<size_t>(kNodes - 1));
+  }
+}
+
+TEST(MembershipTest, MessagesSurviveCrashRecovery) {
+  const int kNodes = 4;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(),
+                     fast_membership_config(), ImplProfile::kLibrary, 13);
+  EvsLog log(kNodes);
+  log.attach(cluster);
+  cluster.start_static();
+
+  // Continuous traffic; node 3 dies mid-stream.
+  for (int i = 0; i < 100; ++i) {
+    cluster.eq().schedule(util::msec(5) + i * util::msec(1), [&cluster, i] {
+      const int sender = i % 3;  // survivors only, keeps accounting simple
+      PayloadStamp stamp{cluster.eq().now(), static_cast<uint32_t>(sender),
+                         static_cast<uint32_t>(i)};
+      cluster.submit(sender, Service::kAgreed, make_payload(64, stamp));
+    });
+  }
+  cluster.eq().schedule(util::msec(50),
+                        [&] { cluster.net().set_host_down(3, true); });
+  cluster.run_until(util::sec(3));
+
+  // All 100 messages from surviving senders are delivered everywhere, in
+  // the same total order.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(log.messages(i).size(), 100u) << "node " << i;
+  }
+  EXPECT_EQ(log.messages(1), log.messages(0));
+  EXPECT_EQ(log.messages(2), log.messages(0));
+}
+
+TEST(MembershipTest, PartitionFormsTwoRings) {
+  const int kNodes = 6;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(),
+                     fast_membership_config(), ImplProfile::kLibrary, 31);
+  EvsLog log(kNodes);
+  log.attach(cluster);
+  cluster.start_static();
+  cluster.run_until(util::msec(40));
+
+  cluster.eq().schedule(util::msec(50), [&] {
+    for (int i = 0; i < kNodes; ++i) {
+      cluster.net().set_partition(i, i < 3 ? 0 : 1);
+    }
+  });
+  cluster.run_until(util::sec(3));
+
+  // Two operational rings of 3, one per partition.
+  std::set<protocol::RingId> rings;
+  for (int i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(cluster.engine(i).operational()) << "node " << i;
+    EXPECT_EQ(cluster.engine(i).ring().size(), 3u) << "node " << i;
+    rings.insert(cluster.engine(i).ring().ring_id);
+  }
+  EXPECT_EQ(rings.size(), 2u);
+  EXPECT_EQ(cluster.engine(0).ring().ring_id,
+            cluster.engine(1).ring().ring_id);
+  EXPECT_EQ(cluster.engine(3).ring().ring_id,
+            cluster.engine(4).ring().ring_id);
+}
+
+TEST(MembershipTest, HealedPartitionMergesWithTraffic) {
+  const int kNodes = 6;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(),
+                     fast_membership_config(), ImplProfile::kLibrary, 37);
+  EvsLog log(kNodes);
+  log.attach(cluster);
+  cluster.start_static();
+
+  cluster.eq().schedule(util::msec(30), [&] {
+    for (int i = 0; i < kNodes; ++i) {
+      cluster.net().set_partition(i, i < 3 ? 0 : 1);
+    }
+  });
+  cluster.eq().schedule(util::msec(600), [&] { cluster.net().heal(); });
+  // Traffic throughout, so the healed halves hear each other's (foreign)
+  // multicasts and merge.
+  for (int i = 0; i < 300; ++i) {
+    cluster.eq().schedule(util::msec(5) + i * util::msec(4), [&cluster, i] {
+      const int sender = i % kNodes;
+      PayloadStamp stamp{cluster.eq().now(), static_cast<uint32_t>(sender),
+                         static_cast<uint32_t>(i)};
+      cluster.submit(sender, Service::kAgreed, make_payload(64, stamp));
+    });
+  }
+  cluster.run_until(util::sec(5));
+
+  // Everyone back on one 6-member ring.
+  const auto ring_id = cluster.engine(0).ring().ring_id;
+  for (int i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(cluster.engine(i).operational()) << "node " << i;
+    EXPECT_EQ(cluster.engine(i).ring().size(), static_cast<size_t>(kNodes))
+        << "node " << i;
+    EXPECT_EQ(cluster.engine(i).ring().ring_id, ring_id) << "node " << i;
+  }
+}
+
+TEST(MembershipTest, EvsSameConfigSameMessages) {
+  // Virtual synchrony: processes that install the same configurations
+  // deliver the same messages between them.
+  const int kNodes = 4;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(),
+                     fast_membership_config(), ImplProfile::kLibrary, 41);
+  EvsLog log(kNodes);
+  log.attach(cluster);
+  cluster.start_static();
+  for (int i = 0; i < 60; ++i) {
+    cluster.eq().schedule(util::msec(2) + i * util::msec(2), [&cluster, i] {
+      const int sender = i % 3;
+      PayloadStamp stamp{cluster.eq().now(), static_cast<uint32_t>(sender),
+                         static_cast<uint32_t>(i)};
+      cluster.submit(sender, Service::kSafe, make_payload(64, stamp));
+    });
+  }
+  cluster.eq().schedule(util::msec(60),
+                        [&] { cluster.net().set_host_down(3, true); });
+  cluster.run_until(util::sec(3));
+
+  // Survivors delivered identical event streams (messages and configs
+  // interleaved identically after the initial config).
+  for (int i = 1; i < 3; ++i) {
+    ASSERT_EQ(log.per_node[i].size(), log.per_node[0].size())
+        << "node " << i;
+    for (size_t k = 0; k < log.per_node[0].size(); ++k) {
+      const auto& a = log.per_node[0][k];
+      const auto& b = log.per_node[i][k];
+      EXPECT_EQ(a.is_config, b.is_config) << "event " << k;
+      if (a.is_config) {
+        EXPECT_EQ(a.members, b.members) << "event " << k;
+        EXPECT_EQ(a.transitional, b.transitional) << "event " << k;
+      } else {
+        EXPECT_EQ(a.sender, b.sender) << "event " << k;
+        EXPECT_EQ(a.seq, b.seq) << "event " << k;
+      }
+    }
+  }
+}
+
+TEST(MembershipTest, LateJoinerMergesIn) {
+  const int kNodes = 4;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(),
+                     fast_membership_config(), ImplProfile::kLibrary, 47);
+  EvsLog log(kNodes);
+  log.attach(cluster);
+  // Nodes 0-2 start immediately; node 3 starts 200 ms later.
+  cluster.net().set_host_down(3, true);
+  for (int i = 0; i < 3; ++i) {
+    cluster.process(i).run_soon(
+        [&cluster, i] { cluster.engine(i).start_discovery(); });
+  }
+  cluster.eq().schedule(util::msec(200), [&] {
+    cluster.net().set_host_down(3, false);
+    cluster.process(3).run_soon(
+        [&cluster] { cluster.engine(3).start_discovery(); });
+  });
+  cluster.run_until(util::sec(3));
+  for (int i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(cluster.engine(i).operational()) << "node " << i;
+    EXPECT_EQ(cluster.engine(i).ring().size(), 4u) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace accelring::harness

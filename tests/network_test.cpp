@@ -1,0 +1,219 @@
+// Unit tests for the simulated switched fabric.
+#include "simnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace accelring::simnet {
+namespace {
+
+std::vector<std::byte> blob(size_t n, uint8_t fill = 0xAA) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+struct Rx {
+  Nanos at = -1;
+  SocketId sock = -1;
+  size_t size = 0;
+  int count = 0;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void attach_all(Network& net, EventQueue& eq, std::vector<Rx>& rx) {
+    rx.resize(net.num_hosts());
+    for (int h = 0; h < net.num_hosts(); ++h) {
+      net.attach(h, [&eq, &rx, h](SocketId sock,
+                                  const Network::Payload& data) {
+        rx[h].at = eq.now();
+        rx[h].sock = sock;
+        rx[h].size = data->size();
+        ++rx[h].count;
+      });
+    }
+  }
+};
+
+TEST_F(NetworkTest, UnicastDeliversWithExpectedLatency) {
+  EventQueue eq;
+  FabricParams p = FabricParams::one_gig();
+  Network net(eq, p, 2);
+  std::vector<Rx> rx;
+  attach_all(net, eq, rx);
+
+  const size_t payload = 1000;
+  net.send(0, 1, kDataSocket, blob(payload), 0);
+  eq.run_all();
+
+  ASSERT_EQ(rx[1].count, 1);
+  const size_t wire = Wire::wire_bytes(payload);
+  const Nanos ser = p.serialization_delay(wire);
+  const Nanos expected = p.host_tx_latency + ser + p.prop_delay +
+                         p.switch_latency + ser + p.prop_delay +
+                         p.host_rx_latency;
+  EXPECT_EQ(rx[1].at, expected);
+  EXPECT_EQ(rx[1].sock, kDataSocket);
+  EXPECT_EQ(rx[1].size, payload);
+  EXPECT_EQ(rx[0].count, 0);  // sender does not hear its own unicast
+}
+
+TEST_F(NetworkTest, MulticastReachesAllButSender) {
+  EventQueue eq;
+  Network net(eq, FabricParams::one_gig(), 5);
+  std::vector<Rx> rx;
+  attach_all(net, eq, rx);
+  net.send(2, kMulticast, kDataSocket, blob(100), 0);
+  eq.run_all();
+  for (int h = 0; h < 5; ++h) {
+    EXPECT_EQ(rx[h].count, h == 2 ? 0 : 1) << "host " << h;
+  }
+  EXPECT_EQ(net.stats().datagrams_delivered, 4u);
+}
+
+TEST_F(NetworkTest, BackToBackSendsSerializeAtTheNic) {
+  EventQueue eq;
+  FabricParams p = FabricParams::one_gig();
+  Network net(eq, p, 2);
+  std::vector<Rx> rx;
+  attach_all(net, eq, rx);
+  Nanos first = -1;
+  net.attach(1, [&](SocketId, const Network::Payload&) {
+    if (first < 0) {
+      first = eq.now();
+    } else {
+      // Second packet is one serialization time behind the first.
+      EXPECT_EQ(eq.now() - first,
+                p.serialization_delay(Wire::wire_bytes(1000)));
+    }
+  });
+  net.send(0, 1, kDataSocket, blob(1000), 0);
+  net.send(0, 1, kDataSocket, blob(1000), 0);
+  eq.run_all();
+  EXPECT_GE(first, 0);
+}
+
+TEST_F(NetworkTest, TenGigIsFasterThanOneGig) {
+  auto one_way = [&](FabricParams p) {
+    EventQueue eq;
+    Network net(eq, p, 2);
+    Nanos at = -1;
+    net.attach(1,
+               [&](SocketId, const Network::Payload&) { at = eq.now(); });
+    net.send(0, 1, kDataSocket, blob(1350), 0);
+    eq.run_all();
+    return at;
+  };
+  EXPECT_LT(one_way(FabricParams::ten_gig()),
+            one_way(FabricParams::one_gig()));
+}
+
+TEST_F(NetworkTest, PortBufferOverflowTailDrops) {
+  EventQueue eq;
+  FabricParams p = FabricParams::one_gig();
+  p.port_buffer_bytes = 4 * Wire::wire_bytes(1400);  // room for ~4 packets
+  Network net(eq, p, 3);
+  std::vector<Rx> rx;
+  attach_all(net, eq, rx);
+  // Two senders blast host 2 simultaneously; its downlink can't drain fast
+  // enough and the output queue overflows.
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, 2, kDataSocket, blob(1400), 0);
+    net.send(1, 2, kDataSocket, blob(1400), 0);
+  }
+  eq.run_all();
+  EXPECT_GT(net.stats().drops_buffer, 0u);
+  EXPECT_LT(rx[2].count, 40);
+  EXPECT_GT(rx[2].count, 0);
+}
+
+TEST_F(NetworkTest, RandomLossDropsApproximatelyAtRate) {
+  EventQueue eq;
+  FabricParams p = FabricParams::ten_gig();
+  p.loss_rate = 0.2;
+  Network net(eq, p, 2, /*seed=*/42);
+  std::vector<Rx> rx;
+  attach_all(net, eq, rx);
+  for (int i = 0; i < 1000; ++i) net.send(0, 1, kDataSocket, blob(64), 0);
+  eq.run_all();
+  EXPECT_NEAR(rx[1].count, 800, 60);
+  EXPECT_EQ(net.stats().drops_random + rx[1].count, 1000u);
+}
+
+TEST_F(NetworkTest, PartitionBlocksAndHealRestores) {
+  EventQueue eq;
+  Network net(eq, FabricParams::one_gig(), 4);
+  std::vector<Rx> rx;
+  attach_all(net, eq, rx);
+  net.set_partition(0, 0);
+  net.set_partition(1, 0);
+  net.set_partition(2, 1);
+  net.set_partition(3, 1);
+  net.send(0, kMulticast, kDataSocket, blob(64), 0);
+  eq.run_all();
+  EXPECT_EQ(rx[1].count, 1);
+  EXPECT_EQ(rx[2].count, 0);
+  EXPECT_EQ(rx[3].count, 0);
+  net.heal();
+  net.send(0, kMulticast, kDataSocket, blob(64), 0);
+  eq.run_all();
+  EXPECT_EQ(rx[2].count, 1);
+  EXPECT_EQ(rx[3].count, 1);
+}
+
+TEST_F(NetworkTest, DownHostNeitherSendsNorReceives) {
+  EventQueue eq;
+  Network net(eq, FabricParams::one_gig(), 3);
+  std::vector<Rx> rx;
+  attach_all(net, eq, rx);
+  net.set_host_down(1, true);
+  net.send(0, kMulticast, kDataSocket, blob(64), 0);
+  net.send(1, 2, kDataSocket, blob(64), 0);
+  eq.run_all();
+  EXPECT_EQ(rx[1].count, 0);
+  EXPECT_EQ(rx[2].count, 1);  // only host 0's multicast
+  net.set_host_down(1, false);
+  net.send(1, 2, kDataSocket, blob(64), 0);
+  eq.run_all();
+  EXPECT_EQ(rx[2].count, 2);
+}
+
+TEST(Wire, SingleFrameForSmallDatagrams) {
+  EXPECT_EQ(Wire::frames(100), 1u);
+  EXPECT_EQ(Wire::frames(Wire::kMaxFirstFragment), 1u);
+  EXPECT_EQ(Wire::wire_bytes(1350),
+            1350 + Wire::kUdpHeader + Wire::kIpHeader + Wire::kEthOverhead);
+}
+
+TEST(Wire, LargeDatagramsFragment) {
+  // 8850B payload + 8B UDP header = 8858B of IP payload over 1480B pieces.
+  EXPECT_EQ(Wire::frames(8850), 6u);
+  EXPECT_GT(Wire::frames(8850), Wire::frames(1350));
+  EXPECT_EQ(Wire::wire_bytes(8850),
+            8850 + Wire::kUdpHeader +
+                6 * (Wire::kIpHeader + Wire::kEthOverhead));
+}
+
+TEST(Wire, FragmentLossLosesWholeDatagram) {
+  EventQueue eq;
+  FabricParams p = FabricParams::ten_gig();
+  p.loss_rate = 0.05;
+  Network net(eq, p, 2, /*seed=*/7);
+  int small = 0;
+  int large = 0;
+  net.attach(1, [&](SocketId, const Network::Payload& data) {
+    (data->size() > 2000 ? large : small) += 1;
+  });
+  for (int i = 0; i < 2000; ++i) {
+    net.send(0, 1, kDataSocket, blob(1350), 0);
+    net.send(0, 1, kDataSocket, blob(8850), 0);
+  }
+  eq.run_all();
+  // 6-fragment datagrams survive with (1-p)^6, noticeably worse than 1-p.
+  EXPECT_LT(large, small);
+  EXPECT_NEAR(small / 2000.0, 0.95, 0.03);
+  EXPECT_NEAR(large / 2000.0, 0.735, 0.05);
+}
+
+}  // namespace
+}  // namespace accelring::simnet

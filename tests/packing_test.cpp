@@ -1,0 +1,182 @@
+// Tests for message packing (Spread's small-message packing, paper
+// §IV-A-3): several application messages share one protocol packet and one
+// sequence number, are unpacked at receivers, and keep ordering semantics.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+#include "harness/workload.hpp"
+#include "membership/membership.hpp"
+#include "protocol/engine.hpp"
+#include "util/bytes.hpp"
+
+namespace accelring::protocol {
+namespace {
+
+using harness::ImplProfile;
+using harness::SimCluster;
+
+std::vector<std::byte> payload(const std::string& s) {
+  return util::to_vector(util::as_bytes(s));
+}
+
+std::string text(std::span<const std::byte> bytes) {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+TEST(Packing, CodecRoundTripsPackedFlag) {
+  DataMsg msg;
+  msg.packed = true;
+  msg.payload = payload("irrelevant");
+  const auto decoded = decode_data(encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->packed);
+}
+
+TEST(Packing, SmallMessagesShareOnePacketAndArriveIndividually) {
+  ProtocolConfig cfg;
+  cfg.enable_packing = true;
+  cfg.packing_budget = 1350;
+  SimCluster cluster(3, simnet::FabricParams::one_gig(), cfg,
+                     ImplProfile::kLibrary);
+  std::vector<std::string> received;
+  cluster.set_on_deliver([&](int node, const Delivery& d, Nanos) {
+    if (node == 1) received.push_back(text(d.payload));
+  });
+  cluster.start_static();
+  // 10 tiny messages submitted together: they fit in one packed packet.
+  cluster.eq().schedule(util::usec(100), [&] {
+    for (int i = 0; i < 10; ++i) {
+      cluster.submit(0, Service::kAgreed, payload("m" + std::to_string(i)));
+    }
+  });
+  cluster.run_until(util::msec(100));
+
+  ASSERT_EQ(received.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(received[i], "m" + std::to_string(i));
+  }
+  // All ten consumed a single sequence number / protocol packet.
+  EXPECT_EQ(cluster.engine(0).stats().initiated, 1u);
+  EXPECT_EQ(cluster.engine(1).stats().delivered_agreed, 10u);
+}
+
+TEST(Packing, DifferentServicesNeverPackTogether) {
+  ProtocolConfig cfg;
+  cfg.enable_packing = true;
+  SimCluster cluster(2, simnet::FabricParams::one_gig(), cfg,
+                     ImplProfile::kLibrary);
+  std::vector<std::pair<Service, std::string>> received;
+  cluster.set_on_deliver([&](int node, const Delivery& d, Nanos) {
+    if (node == 1) received.emplace_back(d.service, text(d.payload));
+  });
+  cluster.start_static();
+  cluster.eq().schedule(util::usec(100), [&] {
+    cluster.submit(0, Service::kAgreed, payload("a1"));
+    cluster.submit(0, Service::kAgreed, payload("a2"));
+    cluster.submit(0, Service::kSafe, payload("s1"));
+    cluster.submit(0, Service::kAgreed, payload("a3"));
+  });
+  cluster.run_until(util::msec(200));
+
+  ASSERT_EQ(received.size(), 4u);
+  EXPECT_EQ(received[0], (std::pair{Service::kAgreed, std::string("a1")}));
+  EXPECT_EQ(received[1], (std::pair{Service::kAgreed, std::string("a2")}));
+  EXPECT_EQ(received[2], (std::pair{Service::kSafe, std::string("s1")}));
+  EXPECT_EQ(received[3], (std::pair{Service::kAgreed, std::string("a3")}));
+  // a1+a2 packed; s1 alone; a3 alone -> 3 protocol packets.
+  EXPECT_EQ(cluster.engine(0).stats().initiated, 3u);
+}
+
+TEST(Packing, BudgetLimitsPackSize) {
+  ProtocolConfig cfg;
+  cfg.enable_packing = true;
+  cfg.packing_budget = 100;
+  SimCluster cluster(2, simnet::FabricParams::one_gig(), cfg,
+                     ImplProfile::kLibrary);
+  size_t received = 0;
+  cluster.set_on_deliver([&](int node, const Delivery&, Nanos) {
+    if (node == 1) ++received;
+  });
+  cluster.start_static();
+  cluster.eq().schedule(util::usec(100), [&] {
+    // 40-byte messages + 4-byte frames: at most 2 fit in a 100-byte budget.
+    for (int i = 0; i < 6; ++i) {
+      cluster.submit(0, Service::kAgreed,
+                     std::vector<std::byte>(40, std::byte{1}));
+    }
+  });
+  cluster.run_until(util::msec(100));
+  EXPECT_EQ(received, 6u);
+  EXPECT_EQ(cluster.engine(0).stats().initiated, 3u);  // 2+2+2
+}
+
+TEST(Packing, OversizeMessageSentUnpacked) {
+  ProtocolConfig cfg;
+  cfg.enable_packing = true;
+  cfg.packing_budget = 100;
+  SimCluster cluster(2, simnet::FabricParams::one_gig(), cfg,
+                     ImplProfile::kLibrary);
+  std::vector<size_t> sizes;
+  cluster.set_on_deliver([&](int node, const Delivery& d, Nanos) {
+    if (node == 1) sizes.push_back(d.payload.size());
+  });
+  cluster.start_static();
+  cluster.eq().schedule(util::usec(100), [&] {
+    cluster.submit(0, Service::kAgreed,
+                   std::vector<std::byte>(500, std::byte{2}));
+  });
+  cluster.run_until(util::msec(100));
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 500u);
+}
+
+TEST(Packing, TotalOrderPreservedAcrossSendersUnderPacking) {
+  ProtocolConfig cfg;
+  cfg.enable_packing = true;
+  const int kNodes = 4;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(), cfg,
+                     ImplProfile::kLibrary, 83);
+  std::vector<std::vector<std::string>> received(kNodes);
+  cluster.set_on_deliver([&](int node, const Delivery& d, Nanos) {
+    received[node].push_back(text(d.payload));
+  });
+  cluster.start_static();
+  for (int i = 0; i < 100; ++i) {
+    cluster.eq().schedule(util::usec(100) + i * util::usec(30), [&cluster, i] {
+      cluster.submit(i % 4, Service::kAgreed,
+                     payload("x" + std::to_string(i)));
+    });
+  }
+  cluster.run_until(util::sec(1));
+  for (int n = 0; n < kNodes; ++n) {
+    ASSERT_EQ(received[n].size(), 100u) << "node " << n;
+    EXPECT_EQ(received[n], received[0]) << "node " << n;
+  }
+}
+
+TEST(Packing, PackingSurvivesLoss) {
+  ProtocolConfig cfg;
+  cfg.enable_packing = true;
+  SimCluster cluster(4, simnet::FabricParams::one_gig(), cfg,
+                     ImplProfile::kLibrary, 89);
+  cluster.net().set_loss_rate(0.03);
+  std::vector<std::vector<std::string>> received(4);
+  cluster.set_on_deliver([&](int node, const Delivery& d, Nanos) {
+    received[node].push_back(text(d.payload));
+  });
+  cluster.start_static();
+  for (int i = 0; i < 200; ++i) {
+    cluster.eq().schedule(util::usec(100) + i * util::usec(20), [&cluster, i] {
+      cluster.submit(i % 4, Service::kAgreed,
+                     payload("y" + std::to_string(i)));
+    });
+  }
+  cluster.run_until(util::sec(3));
+  for (int n = 0; n < 4; ++n) {
+    ASSERT_EQ(received[n].size(), 200u) << "node " << n;
+    EXPECT_EQ(received[n], received[0]);
+  }
+}
+
+}  // namespace
+}  // namespace accelring::protocol

@@ -1,0 +1,125 @@
+// Property sweep on RecvBuffer: for random insertion orders, duplicate
+// rates, safe-message mixes, and discard points, the buffer must always
+// deliver exactly 1..N in order, never deliver past a gap or an unstable
+// Safe message, and never resurrect discarded messages.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "protocol/recv_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace accelring::protocol {
+namespace {
+
+struct BufferParam {
+  uint64_t seed;
+  int count;
+  double safe_fraction;
+  double duplicate_rate;
+};
+
+class RecvBufferProperty : public ::testing::TestWithParam<BufferParam> {};
+
+DataMsg msg(SeqNum seq, Service service) {
+  DataMsg m;
+  m.seq = seq;
+  m.pid = static_cast<ProcessId>(seq % 5);
+  m.service = service;
+  m.round = static_cast<uint64_t>(seq / 7 + 1);
+  return m;
+}
+
+TEST_P(RecvBufferProperty, InvariantsUnderRandomDrive) {
+  const BufferParam param = GetParam();
+  util::Rng rng(param.seed);
+  RecvBuffer buffer;
+
+  // Decide each message's service up front (the "sender" fixes it).
+  std::vector<Service> services(param.count + 1, Service::kAgreed);
+  for (int s = 1; s <= param.count; ++s) {
+    if (rng.chance(param.safe_fraction)) services[s] = Service::kSafe;
+  }
+
+  // Shuffled insertion order with injected duplicates.
+  std::vector<SeqNum> order;
+  for (SeqNum s = 1; s <= param.count; ++s) order.push_back(s);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  SeqNum safe_line = 0;
+  SeqNum last_delivered = 0;
+  std::set<SeqNum> inserted;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const SeqNum seq = order[i];
+    EXPECT_TRUE(buffer.insert(msg(seq, services[seq])));
+    inserted.insert(seq);
+    if (rng.chance(param.duplicate_rate)) {
+      const SeqNum dup = order[rng.below(i + 1)];
+      EXPECT_FALSE(buffer.insert(msg(dup, services[dup])))
+          << "duplicate " << dup << " accepted";
+    }
+    // Local aru is exactly the contiguous prefix of what was inserted.
+    SeqNum expected_aru = 0;
+    while (inserted.contains(expected_aru + 1)) ++expected_aru;
+    EXPECT_EQ(buffer.local_aru(), expected_aru);
+
+    // Occasionally raise the safe line and drain deliverables.
+    if (rng.chance(0.3)) {
+      safe_line = std::min<SeqNum>(
+          safe_line + static_cast<SeqNum>(rng.below(6)), buffer.local_aru());
+    }
+    while (const DataMsg* next = buffer.next_deliverable(safe_line)) {
+      EXPECT_EQ(next->seq, last_delivered + 1) << "delivery gap";
+      if (requires_safe(next->service)) {
+        EXPECT_LE(next->seq, safe_line) << "unstable Safe delivered";
+      }
+      ++last_delivered;
+      buffer.mark_delivered();
+    }
+    // Occasionally discard; discarded messages never come back.
+    if (rng.chance(0.2)) {
+      buffer.discard_up_to(safe_line);
+      if (safe_line >= 1 && last_delivered >= safe_line) {
+        EXPECT_FALSE(buffer.insert(msg(1, services[1])));
+      }
+    }
+  }
+
+  // Final drain with a fully advanced safe line: everything delivers.
+  safe_line = static_cast<SeqNum>(param.count);
+  while (const DataMsg* next = buffer.next_deliverable(safe_line)) {
+    EXPECT_EQ(next->seq, last_delivered + 1);
+    ++last_delivered;
+    buffer.mark_delivered();
+  }
+  EXPECT_EQ(last_delivered, param.count);
+  EXPECT_EQ(buffer.delivered_up_to(), param.count);
+  EXPECT_EQ(buffer.undelivered(), 0u);
+}
+
+std::string param_name(const ::testing::TestParamInfo<BufferParam>& info) {
+  const BufferParam& p = info.param;
+  return "s" + std::to_string(p.seed) + "_n" + std::to_string(p.count) +
+         "_safe" + std::to_string(static_cast<int>(p.safe_fraction * 100)) +
+         "_dup" + std::to_string(static_cast<int>(p.duplicate_rate * 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecvBufferProperty,
+    ::testing::Values(BufferParam{1, 50, 0.0, 0.0},
+                      BufferParam{2, 200, 0.0, 0.2},
+                      BufferParam{3, 200, 0.3, 0.1},
+                      BufferParam{4, 500, 0.5, 0.3},
+                      BufferParam{5, 100, 1.0, 0.0},
+                      BufferParam{6, 300, 0.1, 0.5},
+                      BufferParam{7, 400, 0.25, 0.25},
+                      BufferParam{8, 50, 0.9, 0.9},
+                      BufferParam{9, 1000, 0.2, 0.1},
+                      BufferParam{10, 250, 0.4, 0.0}),
+    param_name);
+
+}  // namespace
+}  // namespace accelring::protocol

@@ -1,0 +1,126 @@
+// Additional simulator edge cases: jumbo MTU accounting, explicit send
+// times, drop filters, and port-queue draining.
+#include <gtest/gtest.h>
+
+#include "simnet/network.hpp"
+#include "simnet/process.hpp"
+
+namespace accelring::simnet {
+namespace {
+
+std::vector<std::byte> blob(size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x77});
+}
+
+TEST(JumboFrames, SingleFrameAt9000Mtu) {
+  EXPECT_EQ(Wire::frames(8850, 9000), 1u);
+  EXPECT_EQ(Wire::frames(8850, 1500), 6u);
+  // Wire bytes shrink accordingly: one IP+Ethernet header set instead of 6.
+  EXPECT_LT(Wire::wire_bytes(8850, 9000), Wire::wire_bytes(8850, 1500));
+  EXPECT_EQ(Wire::wire_bytes(8850, 9000),
+            8850 + Wire::kUdpHeader + Wire::kIpHeader + Wire::kEthOverhead);
+}
+
+TEST(JumboFrames, BoundaryExactFit) {
+  // 9000 - 20 (IP) - 8 (UDP) = 8972 payload fits one jumbo frame.
+  EXPECT_EQ(Wire::frames(8972, 9000), 1u);
+  EXPECT_EQ(Wire::frames(8973, 9000), 2u);
+  // Standard MTU boundary: 1472.
+  EXPECT_EQ(Wire::frames(1472, 1500), 1u);
+  EXPECT_EQ(Wire::frames(1473, 1500), 2u);
+}
+
+TEST(JumboFrames, FewerFragmentsSurviveLossBetter) {
+  FabricParams p = FabricParams::ten_gig();
+  p.loss_rate = 0.05;
+  auto survivors = [&](size_t mtu) {
+    p.mtu = mtu;
+    EventQueue eq;
+    Network net(eq, p, 2, /*seed=*/11);
+    int count = 0;
+    net.attach(1, [&](SocketId, const Network::Payload&) { ++count; });
+    for (int i = 0; i < 2000; ++i) net.send(0, 1, kDataSocket, blob(8850), 0);
+    eq.run_all();
+    return count;
+  };
+  EXPECT_GT(survivors(9000), survivors(1500));
+}
+
+TEST(SendTime, ExplicitWhenDelaysDeparture) {
+  EventQueue eq;
+  FabricParams p = FabricParams::one_gig();
+  Network net(eq, p, 2);
+  Nanos arrival_now = -1;
+  Nanos arrival_later = -1;
+  net.attach(1, [&](SocketId, const Network::Payload& d) {
+    (d->size() == 100 ? arrival_now : arrival_later) = eq.now();
+  });
+  net.send(0, 1, kDataSocket, blob(100), 0);
+  net.send(0, 1, kDataSocket, blob(200), util::usec(50));
+  eq.run_all();
+  ASSERT_GE(arrival_now, 0);
+  ASSERT_GE(arrival_later, 0);
+  // The delayed send departs 50us later (plus its own serialization).
+  EXPECT_GT(arrival_later - arrival_now, util::usec(45));
+}
+
+TEST(DropFilter, SelectiveBySocketAndSource) {
+  EventQueue eq;
+  Network net(eq, FabricParams::one_gig(), 3);
+  int data_count = 0;
+  int token_count = 0;
+  net.attach(2, [&](SocketId sock, const Network::Payload&) {
+    (sock == kDataSocket ? data_count : token_count)++;
+  });
+  net.set_drop_filter([](int src, int, int sock, const std::vector<std::byte>&) {
+    return src == 0 && sock == kTokenSocket;
+  });
+  net.send(0, 2, kDataSocket, blob(10), 0);
+  net.send(0, 2, kTokenSocket, blob(10), 0);  // dropped
+  net.send(1, 2, kTokenSocket, blob(10), 0);  // passes (src 1)
+  eq.run_all();
+  EXPECT_EQ(data_count, 1);
+  EXPECT_EQ(token_count, 1);
+  EXPECT_EQ(net.stats().drops_fault, 1u);
+}
+
+TEST(PortQueue, DrainsAndAcceptsAfterBackoff) {
+  EventQueue eq;
+  FabricParams p = FabricParams::one_gig();
+  p.port_buffer_bytes = 3 * Wire::wire_bytes(1400);
+  Network net(eq, p, 3);
+  int received = 0;
+  net.attach(2, [&](SocketId, const Network::Payload&) { ++received; });
+  // Two senders converge on host 2's downlink: their combined arrival rate
+  // is twice the drain rate, so the 3-packet port queue overflows.
+  for (int i = 0; i < 8; ++i) {
+    net.send(0, 2, kDataSocket, blob(1400), 0);
+    net.send(1, 2, kDataSocket, blob(1400), 0);
+  }
+  eq.run_all();
+  const int first_wave = received;
+  EXPECT_LT(first_wave, 16);
+  EXPECT_GT(net.stats().drops_buffer, 0u);
+  // ...but after the queue drains, new packets flow again.
+  for (int i = 0; i < 3; ++i) {
+    net.send(0, 2, kDataSocket, blob(1400), eq.now());
+  }
+  eq.run_all();
+  EXPECT_EQ(received, first_wave + 3);
+}
+
+TEST(ProcessEdge, InboxDepthVisible) {
+  EventQueue eq;
+  Process proc(eq, ProcessCosts{}, 1 << 20);
+  // No sink attached: packets stay queued (drain does nothing useful but
+  // depth is observable before any drain event runs).
+  proc.enqueue(kDataSocket,
+               std::make_shared<const std::vector<std::byte>>(blob(10)));
+  proc.enqueue(kDataSocket,
+               std::make_shared<const std::vector<std::byte>>(blob(10)));
+  EXPECT_EQ(proc.inbox_depth(kDataSocket), 2u);
+  EXPECT_EQ(proc.inbox_depth(kTokenSocket), 0u);
+}
+
+}  // namespace
+}  // namespace accelring::simnet

@@ -1,0 +1,88 @@
+// Unit tests for core types: ring topology helpers, config derivations,
+// service classification, and ring-id encoding.
+#include "protocol/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "membership/membership.hpp"
+
+namespace accelring::protocol {
+namespace {
+
+RingConfig ring(std::vector<ProcessId> members) {
+  RingConfig r;
+  r.ring_id = membership::make_ring_id(3, members.front());
+  r.members = std::move(members);
+  return r;
+}
+
+TEST(RingConfigTest, SuccessorWrapsAround) {
+  const RingConfig r = ring({2, 5, 9});
+  EXPECT_EQ(r.successor_of(2), 5);
+  EXPECT_EQ(r.successor_of(5), 9);
+  EXPECT_EQ(r.successor_of(9), 2);  // wrap
+}
+
+TEST(RingConfigTest, PredecessorWrapsAround) {
+  const RingConfig r = ring({2, 5, 9});
+  EXPECT_EQ(r.predecessor_of(2), 9);  // wrap
+  EXPECT_EQ(r.predecessor_of(5), 2);
+  EXPECT_EQ(r.predecessor_of(9), 5);
+}
+
+TEST(RingConfigTest, IndexOfMissingIsNegative) {
+  const RingConfig r = ring({2, 5, 9});
+  EXPECT_EQ(r.index_of(5), 1);
+  EXPECT_EQ(r.index_of(7), -1);
+}
+
+TEST(RingConfigTest, SingletonRingIsItsOwnNeighbour) {
+  const RingConfig r = ring({4});
+  EXPECT_EQ(r.successor_of(4), 4);
+  EXPECT_EQ(r.predecessor_of(4), 4);
+  EXPECT_EQ(r.representative(), 4);
+}
+
+TEST(ProtocolConfigTest, OriginalVariantNeutralizesAcceleration) {
+  ProtocolConfig cfg;
+  cfg.variant = Variant::kOriginal;
+  cfg.accelerated_window = 40;
+  cfg.priority = PriorityMethod::kAggressive;
+  EXPECT_EQ(cfg.effective_accel_window(), 0u);
+  EXPECT_EQ(cfg.effective_priority(), PriorityMethod::kConservative);
+}
+
+TEST(ProtocolConfigTest, AcceleratedVariantKeepsSettings) {
+  ProtocolConfig cfg;
+  cfg.variant = Variant::kAccelerated;
+  cfg.accelerated_window = 40;
+  cfg.priority = PriorityMethod::kAggressive;
+  EXPECT_EQ(cfg.effective_accel_window(), 40u);
+  EXPECT_EQ(cfg.effective_priority(), PriorityMethod::kAggressive);
+}
+
+TEST(ServiceTest, OnlySafeRequiresStability) {
+  EXPECT_FALSE(requires_safe(Service::kReliable));
+  EXPECT_FALSE(requires_safe(Service::kFifo));
+  EXPECT_FALSE(requires_safe(Service::kCausal));
+  EXPECT_FALSE(requires_safe(Service::kAgreed));
+  EXPECT_TRUE(requires_safe(Service::kSafe));
+}
+
+TEST(ServiceTest, NamesAreStable) {
+  EXPECT_STREQ(service_name(Service::kAgreed), "agreed");
+  EXPECT_STREQ(service_name(Service::kSafe), "safe");
+}
+
+TEST(RingIdTest, EpochAndCreatorRoundTrip) {
+  const RingId id = membership::make_ring_id(42, 7);
+  EXPECT_EQ(membership::ring_epoch(id), 42u);
+  EXPECT_EQ(id & 0xFFFF, 7u);
+  // Distinct creators at the same epoch yield distinct ids.
+  EXPECT_NE(membership::make_ring_id(42, 7), membership::make_ring_id(42, 8));
+  // Later epochs compare greater regardless of creator.
+  EXPECT_GT(membership::make_ring_id(43, 0), membership::make_ring_id(42, 999));
+}
+
+}  // namespace
+}  // namespace accelring::protocol

@@ -1,0 +1,154 @@
+// Integration tests for the real UDP transport: engines over loopback
+// sockets, all driven by a single event loop.
+#include "transport/udp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "membership/membership.hpp"
+#include "util/bytes.hpp"
+
+namespace accelring::transport {
+namespace {
+
+using protocol::Delivery;
+using protocol::Service;
+
+/// Ports derived from the test pid so parallel test runs do not collide.
+uint16_t base_port() {
+  return static_cast<uint16_t>(20000 + (::getpid() % 20000));
+}
+
+std::map<protocol::ProcessId, PeerAddress> make_peers(int n) {
+  std::map<protocol::ProcessId, PeerAddress> peers;
+  const uint16_t base = base_port();
+  for (int i = 0; i < n; ++i) {
+    PeerAddress a;
+    a.ip = "127.0.0.1";
+    a.data_port = static_cast<uint16_t>(base + i * 2);
+    a.token_port = static_cast<uint16_t>(base + i * 2 + 1);
+    peers[static_cast<protocol::ProcessId>(i)] = a;
+  }
+  return peers;
+}
+
+struct UdpNode {
+  std::unique_ptr<UdpTransport> transport;
+  std::unique_ptr<protocol::Engine> engine;
+  std::vector<std::pair<uint16_t, protocol::SeqNum>> delivered;
+};
+
+struct UdpRing {
+  EventLoop loop;
+  std::vector<UdpNode> nodes;
+
+  explicit UdpRing(int n) {
+    const auto peers = make_peers(n);
+    protocol::ProtocolConfig cfg;
+    cfg.token_retransmit_timeout = util::msec(20);
+    cfg.token_loss_timeout = util::msec(500);
+    nodes.resize(n);
+    protocol::RingConfig ring;
+    ring.ring_id = membership::make_ring_id(1, 0);
+    for (int i = 0; i < n; ++i) {
+      ring.members.push_back(static_cast<protocol::ProcessId>(i));
+    }
+    for (int i = 0; i < n; ++i) {
+      auto& node = nodes[i];
+      node.transport = std::make_unique<UdpTransport>(
+          static_cast<protocol::ProcessId>(i), peers, loop);
+      node.engine = std::make_unique<protocol::Engine>(
+          static_cast<protocol::ProcessId>(i), cfg, *node.transport);
+      node.transport->bind(*node.engine);
+      node.transport->set_deliver([&node](const Delivery& d) {
+        node.delivered.emplace_back(d.sender, d.seq);
+      });
+    }
+    // Non-representatives first so the first token finds everyone ready.
+    for (int i = n - 1; i >= 0; --i) {
+      nodes[i].engine->start_with_ring(ring);
+    }
+  }
+};
+
+TEST(UdpTransport, ThreeNodeRingDeliversTotallyOrdered) {
+  UdpRing ring(3);
+  for (int i = 0; i < 30; ++i) {
+    ring.nodes[i % 3].engine->submit(
+        Service::kAgreed,
+        util::to_vector(util::as_bytes("msg" + std::to_string(i))));
+  }
+  // Run until everyone has everything (or 3 s worst case).
+  for (int spin = 0; spin < 60; ++spin) {
+    ring.loop.run_for(util::msec(50));
+    bool done = true;
+    for (const auto& n : ring.nodes) done = done && n.delivered.size() >= 30;
+    if (done) break;
+  }
+  for (const auto& n : ring.nodes) {
+    ASSERT_EQ(n.delivered.size(), 30u);
+  }
+  EXPECT_EQ(ring.nodes[1].delivered, ring.nodes[0].delivered);
+  EXPECT_EQ(ring.nodes[2].delivered, ring.nodes[0].delivered);
+}
+
+TEST(UdpTransport, SafeDeliveryWorksOverRealSockets) {
+  UdpRing ring(2);
+  ring.nodes[0].engine->submit(Service::kSafe,
+                               util::to_vector(util::as_bytes("stable")));
+  for (int spin = 0; spin < 60; ++spin) {
+    ring.loop.run_for(util::msec(50));
+    if (ring.nodes[0].delivered.size() == 1 &&
+        ring.nodes[1].delivered.size() == 1) {
+      break;
+    }
+  }
+  EXPECT_EQ(ring.nodes[0].delivered.size(), 1u);
+  EXPECT_EQ(ring.nodes[1].delivered.size(), 1u);
+}
+
+TEST(UdpTransport, CountsTraffic) {
+  UdpRing ring(2);
+  ring.nodes[0].engine->submit(Service::kAgreed,
+                               util::to_vector(util::as_bytes("x")));
+  ring.loop.run_for(util::msec(300));
+  EXPECT_GT(ring.nodes[0].transport->datagrams_sent(), 0u);
+  EXPECT_GT(ring.nodes[1].transport->datagrams_received(), 0u);
+}
+
+TEST(EventLoopTest, TimersFireInOrder) {
+  EventLoop loop;
+  std::vector<int> fired;
+  loop.set_timer(1, util::msec(30), [&] { fired.push_back(1); });
+  loop.set_timer(2, util::msec(10), [&] {
+    fired.push_back(2);
+    loop.set_timer(3, util::msec(5), [&] { fired.push_back(3); });
+  });
+  loop.run_for(util::msec(100));
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 2);
+  EXPECT_EQ(fired[1], 3);
+  EXPECT_EQ(fired[2], 1);
+}
+
+TEST(EventLoopTest, CancelTimerPreventsFire) {
+  EventLoop loop;
+  bool fired = false;
+  loop.set_timer(1, util::msec(10), [&] { fired = true; });
+  loop.cancel_timer(1);
+  loop.run_for(util::msec(50));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, RearmReplacesDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.set_timer(1, util::msec(5), [&] { ++count; });
+  loop.set_timer(1, util::msec(20), [&] { ++count; });
+  loop.run_for(util::msec(60));
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace accelring::transport

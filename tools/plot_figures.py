@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Turn bench_output.txt into per-figure CSV files (and PNGs if matplotlib
+is available).
+
+Usage:
+    ./build/bench/fig1_agreed_1g > out.txt   # or the full bench_output.txt
+    tools/plot_figures.py bench_output.txt plots/
+
+Each `# curve label` block becomes one series; blocks under the same
+`==== Figure N ... ====` heading are grouped into one CSV / one plot with
+achieved throughput (Mbps) on the x axis and mean latency (us, log scale)
+on the y axis — the paper's presentation.
+"""
+
+import csv
+import os
+import re
+import sys
+
+
+def parse(path):
+    figures = {}  # title -> list[(label, rows)]
+    title = "untitled"
+    label = None
+    with open(path) as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            heading = re.match(r"^==== (.*?) ====", line)
+            if heading:
+                title = heading.group(1)
+                continue
+            curve = re.match(r"^# (.*)", line)
+            if curve:
+                label = curve.group(1)
+                figures.setdefault(title, []).append((label, []))
+                continue
+            row = re.match(r"^\s*([\d.]+)\s+([\d.]+)\s+([\d.]+)", line)
+            if row and label is not None and figures.get(title):
+                figures[title][-1][1].append(
+                    (float(row.group(1)), float(row.group(2)),
+                     float(row.group(3))))
+    return {t: c for t, c in figures.items() if any(rows for _, rows in c)}
+
+
+def slug(text):
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")[:60]
+
+
+def write_csv(outdir, title, curves):
+    path = os.path.join(outdir, slug(title) + ".csv")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["curve", "offered_mbps", "achieved_mbps",
+                         "mean_latency_us"])
+        for label, rows in curves:
+            for offered, achieved, latency in rows:
+                writer.writerow([label, offered, achieved, latency])
+    return path
+
+
+def maybe_plot(outdir, title, curves):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return None
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for label, rows in curves:
+        xs = [achieved for _, achieved, _ in rows]
+        ys = [latency for _, _, latency in rows]
+        ax.plot(xs, ys, marker="o", markersize=3, label=label)
+    ax.set_xlabel("achieved throughput (Mbps, clean payload)")
+    ax.set_ylabel("mean latency (us)")
+    ax.set_yscale("log")
+    ax.set_title(title)
+    ax.legend(fontsize=7)
+    ax.grid(True, alpha=0.3)
+    path = os.path.join(outdir, slug(title) + ".png")
+    fig.tight_layout()
+    fig.savefig(path, dpi=130)
+    plt.close(fig)
+    return path
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    src, outdir = sys.argv[1], sys.argv[2]
+    os.makedirs(outdir, exist_ok=True)
+    figures = parse(src)
+    if not figures:
+        print("no curves found in", src)
+        return 1
+    for title, curves in figures.items():
+        csv_path = write_csv(outdir, title, curves)
+        png_path = maybe_plot(outdir, title, curves)
+        print(f"{title}: {csv_path}" + (f" + {png_path}" if png_path else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
