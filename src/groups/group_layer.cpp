@@ -1,5 +1,6 @@
 #include "groups/group_layer.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "util/bytes.hpp"
@@ -48,13 +49,26 @@ std::optional<GroupMsg> decode_group(std::span<const std::byte> packet) {
   return msg;
 }
 
+size_t GroupLayer::ring_for(std::string_view group) const {
+  if (!route_ || submits_.size() == 1) return 0;
+  const int ring = route_(group);
+  return ring >= 0 && static_cast<size_t>(ring) < submits_.size()
+             ? static_cast<size_t>(ring)
+             : 0;
+}
+
+bool GroupLayer::submit_to_ring(size_t ring, Service service,
+                                std::vector<std::byte> payload) {
+  return submits_[ring](service, std::move(payload));
+}
+
 bool GroupLayer::join(uint32_t client, const std::string& name,
                       const std::string& group) {
   GroupMsg msg;
   msg.op = GroupOp::kJoin;
   msg.origin = Member{self_, client, name};
   msg.groups = {group};
-  return engine_.submit(Service::kAgreed, encode(msg));
+  return submit_to_ring(ring_for(group), Service::kAgreed, encode(msg));
 }
 
 bool GroupLayer::leave(uint32_t client, const std::string& name,
@@ -63,7 +77,7 @@ bool GroupLayer::leave(uint32_t client, const std::string& name,
   msg.op = GroupOp::kLeave;
   msg.origin = Member{self_, client, name};
   msg.groups = {group};
-  return engine_.submit(Service::kAgreed, encode(msg));
+  return submit_to_ring(ring_for(group), Service::kAgreed, encode(msg));
 }
 
 bool GroupLayer::send(uint32_t client, const std::string& name,
@@ -75,15 +89,26 @@ bool GroupLayer::send(uint32_t client, const std::string& name,
   msg.origin = Member{self_, client, name};
   msg.groups = target_groups;
   msg.payload = std::move(payload);
-  return engine_.submit(service, encode(msg));
+  // Multi-group sends route by the lowest destination name so every sender
+  // picks the same ring for the same group set; the deterministic merge
+  // fixes the message's position relative to the other rings' traffic.
+  const std::string& anchor =
+      *std::min_element(target_groups.begin(), target_groups.end());
+  return submit_to_ring(ring_for(anchor), service, encode(msg));
 }
 
 bool GroupLayer::disconnect(uint32_t client, const std::string& name) {
   GroupMsg msg;
   msg.op = GroupOp::kLeave;
   msg.origin = Member{self_, client, name};
-  // Empty group list means "leave everything".
-  return engine_.submit(Service::kAgreed, encode(msg));
+  // Empty group list means "leave everything". The client may hold
+  // memberships sharded across every ring, so fan the leave-all out to all
+  // of them (GroupSet::drop_client is idempotent).
+  bool ok = true;
+  for (size_t ring = 0; ring < submits_.size(); ++ring) {
+    ok = submit_to_ring(ring, Service::kAgreed, encode(msg)) && ok;
+  }
+  return ok;
 }
 
 void GroupLayer::on_delivery(const protocol::Delivery& delivery) {

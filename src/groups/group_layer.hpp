@@ -47,6 +47,13 @@ struct GroupMsg {
 /// Per-daemon group logic. The daemon forwards engine deliveries and
 /// configuration changes in; the layer calls back with what each local
 /// client should see.
+///
+/// The layer can sit on a single ordered ring (the classic assembly) or on K
+/// sharded rings merged deterministically (src/multiring): in multi-ring
+/// mode every group's events are routed to the group's shard ring, so a
+/// group stays internally ordered on one ring, while cross-group positions
+/// are fixed — identically at every daemon — by the merge. on_delivery must
+/// then be fed from the merged stream.
 class GroupLayer {
  public:
   /// (local client id, view) — group membership notification.
@@ -55,9 +62,28 @@ class GroupLayer {
   using MessageFn = std::function<void(
       uint32_t client, const std::string& group, const std::string& sender,
       Service service, std::span<const std::byte> payload)>;
+  /// Submits one ordered message to a specific ring's stream.
+  using SubmitFn = std::function<bool(Service, std::vector<std::byte>)>;
+  /// Maps a group name to the ring that orders it (e.g. ShardMap::ring_of).
+  using RouteFn = std::function<int(std::string_view group)>;
 
+  /// Single-ring assembly: everything is ordered by one engine.
   GroupLayer(protocol::ProcessId self, protocol::Engine& engine)
-      : self_(self), engine_(engine) {}
+      : self_(self) {
+    submits_.push_back([&engine](Service service,
+                                 std::vector<std::byte> payload) {
+      return engine.submit(service, std::move(payload));
+    });
+  }
+
+  /// Multi-ring assembly: `ring_submits[i]` feeds ring i and `route` assigns
+  /// groups to rings. Multi-group sends go to the lowest destination group's
+  /// ring (deterministic whatever order the caller lists the groups);
+  /// leave-all disconnects fan out to every ring.
+  GroupLayer(protocol::ProcessId self, std::vector<SubmitFn> ring_submits,
+             RouteFn route)
+      : self_(self), submits_(std::move(ring_submits)),
+        route_(std::move(route)) {}
 
   void set_on_view(ViewFn fn) { on_view_ = std::move(fn); }
   void set_on_message(MessageFn fn) { on_message_ = std::move(fn); }
@@ -89,9 +115,14 @@ class GroupLayer {
  private:
   void emit_views(const std::vector<GroupView>& views);
   void emit_view(const GroupView& view);
+  /// Ring that orders `group` (always 0 in the single-ring assembly).
+  [[nodiscard]] size_t ring_for(std::string_view group) const;
+  bool submit_to_ring(size_t ring, Service service,
+                      std::vector<std::byte> payload);
 
   protocol::ProcessId self_;
-  protocol::Engine& engine_;
+  std::vector<SubmitFn> submits_;  ///< one per ring
+  RouteFn route_;                  ///< unset => single ring
   GroupSet set_;
   ViewFn on_view_;
   MessageFn on_message_;

@@ -43,12 +43,31 @@ NodeSetup NodeSetup::for_profile(ImplProfile profile) {
 SimCluster::SimCluster(int num_nodes, simnet::FabricParams fabric,
                        protocol::ProtocolConfig cfg, ImplProfile profile,
                        uint64_t seed)
-    : fabric_(fabric),
+    : owned_eq_(std::make_unique<simnet::EventQueue>()),
+      eq_(*owned_eq_),
+      fabric_(fabric),
       cfg_(cfg),
       profile_(profile),
       setup_(NodeSetup::for_profile(profile)),
       net_(eq_, fabric, num_nodes, seed) {
-  if (profile == ImplProfile::kSpread) {
+  init(num_nodes);
+}
+
+SimCluster::SimCluster(simnet::EventQueue& eq, int num_nodes,
+                       simnet::FabricParams fabric,
+                       protocol::ProtocolConfig cfg, ImplProfile profile,
+                       uint64_t seed)
+    : eq_(eq),
+      fabric_(fabric),
+      cfg_(cfg),
+      profile_(profile),
+      setup_(NodeSetup::for_profile(profile)),
+      net_(eq_, fabric, num_nodes, seed) {
+  init(num_nodes);
+}
+
+void SimCluster::init(int num_nodes) {
+  if (profile_ == ImplProfile::kSpread) {
     // Spread 4.4 ships the conservative priority method (paper §III-D).
     cfg_.priority = protocol::PriorityMethod::kConservative;
   }
@@ -68,6 +87,10 @@ void SimCluster::wire_node(int i) {
   node.engine = std::make_unique<protocol::Engine>(
       static_cast<protocol::ProcessId>(i), cfg_, *node.host);
   node.engine->set_header_pad(setup_.header_pad);
+  // Always-on flight recorder (two stores per event); tests may swap in
+  // their own via engine(i).set_tracer().
+  node.tracer = std::make_unique<util::Tracer>(16384);
+  node.engine->set_tracer(node.tracer.get());
   node.host->bind(*node.engine);
   node.process->set_sink(node.host.get());
   net_.attach(i, [proc = node.process.get()](
@@ -77,6 +100,7 @@ void SimCluster::wire_node(int i) {
 
   node.host->set_deliver([this, i](const protocol::Delivery& delivery) {
     SimNode& n = nodes_[i];
+    ++n.delivered;
     // Daemon/Spread: the daemon spends CPU routing and writing the message
     // to the receiving client, which then sees it one IPC hop later.
     n.process->charge(setup_.group_routing_cost + setup_.client_deliver_cost +
@@ -137,6 +161,25 @@ void SimCluster::submit(int node, protocol::Service service,
         },
         cpu_cost);
   });
+}
+
+ClusterStats SimCluster::stats() const {
+  ClusterStats s;
+  s.now = eq_.now();
+  s.net = net_.stats();
+  s.nodes.reserve(nodes_.size());
+  for (const SimNode& n : nodes_) {
+    ClusterStats::NodeStats ns;
+    ns.engine = n.engine->stats();
+    ns.delivered = n.delivered;
+    ns.socket_drops = n.process->socket_drops();
+    ns.busy_time = n.process->busy_time();
+    ns.cpu_utilization = s.now > 0 ? static_cast<double>(ns.busy_time) /
+                                         static_cast<double>(s.now)
+                                   : 0.0;
+    s.nodes.push_back(ns);
+  }
+  return s;
 }
 
 size_t SimCluster::datagram_size(size_t payload) const {

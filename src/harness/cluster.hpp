@@ -24,6 +24,7 @@
 #include "simnet/network.hpp"
 #include "simnet/process.hpp"
 #include "transport/sim_host.hpp"
+#include "util/trace.hpp"
 
 namespace accelring::harness {
 
@@ -59,11 +60,65 @@ struct NodeSetup {
   [[nodiscard]] static NodeSetup for_profile(ImplProfile profile);
 };
 
-/// One simulated node: process, host adapter, engine.
+/// One simulated node: process, host adapter, engine, flight recorder.
 struct SimNode {
   std::unique_ptr<simnet::Process> process;
   std::unique_ptr<transport::SimHost> host;
   std::unique_ptr<protocol::Engine> engine;
+  std::unique_ptr<util::Tracer> tracer;
+  uint64_t delivered = 0;  ///< application-level deliveries at this node
+};
+
+/// Everything tests, benches, and the multi-ring assembly want to know about
+/// a cluster after (or during) a run, in one struct instead of a scatter of
+/// per-node getters.
+struct ClusterStats {
+  struct NodeStats {
+    protocol::EngineStats engine;
+    uint64_t delivered = 0;     ///< application deliveries observed
+    uint64_t socket_drops = 0;
+    Nanos busy_time = 0;        ///< virtual CPU time consumed
+    double cpu_utilization = 0; ///< busy_time / elapsed simulated time
+  };
+  std::vector<NodeStats> nodes;
+  simnet::NetworkStats net;
+  Nanos now = 0;  ///< simulated time the snapshot was taken
+
+  [[nodiscard]] uint64_t delivered_total() const {
+    uint64_t n = 0;
+    for (const auto& s : nodes) n += s.delivered;
+    return n;
+  }
+  [[nodiscard]] uint64_t retransmits() const {
+    uint64_t n = 0;
+    for (const auto& s : nodes) n += s.engine.retransmitted;
+    return n;
+  }
+  [[nodiscard]] uint64_t rtr_requested() const {
+    uint64_t n = 0;
+    for (const auto& s : nodes) n += s.engine.rtr_requested;
+    return n;
+  }
+  [[nodiscard]] uint64_t token_retransmits() const {
+    uint64_t n = 0;
+    for (const auto& s : nodes) n += s.engine.token_retransmits;
+    return n;
+  }
+  [[nodiscard]] uint64_t submit_rejected() const {
+    uint64_t n = 0;
+    for (const auto& s : nodes) n += s.engine.submit_rejected;
+    return n;
+  }
+  [[nodiscard]] uint64_t socket_drops() const {
+    uint64_t n = 0;
+    for (const auto& s : nodes) n += s.socket_drops;
+    return n;
+  }
+  [[nodiscard]] double max_cpu_utilization() const {
+    double m = 0;
+    for (const auto& s : nodes) m = s.cpu_utilization > m ? s.cpu_utilization : m;
+    return m;
+  }
 };
 
 class SimCluster {
@@ -78,6 +133,13 @@ class SimCluster {
   SimCluster(int num_nodes, simnet::FabricParams fabric,
              protocol::ProtocolConfig cfg, ImplProfile profile,
              uint64_t seed = 1);
+
+  /// Multi-ring assembly: share an external event queue so several clusters
+  /// (one per ring, each with its own switch fabric) advance on one simulated
+  /// clock. The queue must outlive the cluster.
+  SimCluster(simnet::EventQueue& eq, int num_nodes,
+             simnet::FabricParams fabric, protocol::ProtocolConfig cfg,
+             ImplProfile profile, uint64_t seed = 1);
 
   /// All nodes start on one pre-agreed ring (the benchmark setup).
   void start_static();
@@ -101,9 +163,14 @@ class SimCluster {
   [[nodiscard]] simnet::Process& process(int node) {
     return *nodes_[node].process;
   }
+  /// Per-node flight recorder (always attached to the node's engine).
+  [[nodiscard]] util::Tracer& tracer(int node) { return *nodes_[node].tracer; }
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] const NodeSetup& setup() const { return setup_; }
   [[nodiscard]] ImplProfile profile() const { return profile_; }
+
+  /// Snapshot of every per-node and fabric counter in one struct.
+  [[nodiscard]] ClusterStats stats() const;
 
   /// Run the simulation until `deadline` (absolute simulated time).
   void run_until(Nanos deadline) { eq_.run_until(deadline); }
@@ -113,9 +180,13 @@ class SimCluster {
   [[nodiscard]] size_t datagram_size(size_t payload) const;
 
  private:
+  void init(int num_nodes);
   void wire_node(int i);
 
-  simnet::EventQueue eq_;
+  /// Set only when this cluster owns its clock (single-ring constructor);
+  /// eq_ references either *owned_eq_ or the caller's shared queue.
+  std::unique_ptr<simnet::EventQueue> owned_eq_;
+  simnet::EventQueue& eq_;
   simnet::FabricParams fabric_;
   protocol::ProtocolConfig cfg_;
   ImplProfile profile_;

@@ -38,17 +38,14 @@ PointResult run_point(const PointConfig& config) {
   r.p50_latency = recorder.latency().percentile(0.5);
   r.p99_latency = recorder.latency().percentile(0.99);
   r.messages = recorder.node_messages(0);
-  r.buffer_drops = cluster.net().stats().drops_buffer;
-  for (int i = 0; i < config.nodes; ++i) {
-    const double busy = static_cast<double>(cluster.process(i).busy_time()) /
-                        static_cast<double>(cluster.eq().now());
-    r.max_cpu_utilization = std::max(r.max_cpu_utilization, busy);
-    r.socket_drops += cluster.process(i).socket_drops();
-    r.retransmits += cluster.engine(i).stats().retransmitted;
-    r.rtr_requested += cluster.engine(i).stats().rtr_requested;
-    r.token_retransmits += cluster.engine(i).stats().token_retransmits;
-    r.submit_rejected += cluster.engine(i).stats().submit_rejected;
-  }
+  const ClusterStats stats = cluster.stats();
+  r.buffer_drops = stats.net.drops_buffer;
+  r.socket_drops = stats.socket_drops();
+  r.retransmits = stats.retransmits();
+  r.rtr_requested = stats.rtr_requested();
+  r.token_retransmits = stats.token_retransmits();
+  r.submit_rejected = stats.submit_rejected();
+  r.max_cpu_utilization = stats.max_cpu_utilization();
   return r;
 }
 

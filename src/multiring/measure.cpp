@@ -1,0 +1,125 @@
+#include "multiring/measure.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/workload.hpp"
+#include "util/stats.hpp"
+
+namespace accelring::multiring {
+
+namespace {
+
+using harness::PayloadStamp;
+
+/// Fixed-rate sharded injection: every node sends at offered/nodes, cycling
+/// through `streams_per_node` ordering keys so the shard map spreads the
+/// load across rings (the multi-ring analogue of harness::RateInjector).
+class ShardedInjector {
+ public:
+  ShardedInjector(RingSet& rings, const MultiPointConfig& cfg, Nanos stop)
+      : rings_(rings), cfg_(cfg), stop_(stop) {
+    const double msgs_per_sec = cfg.offered_mbps * 1e6 / 8.0 /
+                                static_cast<double>(cfg.payload_size);
+    const double per_node =
+        msgs_per_sec / rings_.nodes_per_ring();
+    interval_ = per_node > 0 ? static_cast<Nanos>(1e9 / per_node)
+                             : util::sec(3600);
+  }
+
+  void arm() {
+    for (int node = 0; node < rings_.nodes_per_ring(); ++node) {
+      const Nanos phase = interval_ * node / rings_.nodes_per_ring();
+      schedule_next(node, util::usec(100) + phase, 0);
+    }
+  }
+
+ private:
+  void schedule_next(int node, Nanos at, uint32_t index) {
+    if (at >= stop_) return;
+    rings_.eq().schedule(at, [this, node, at, index] {
+      PayloadStamp stamp;
+      stamp.inject_time = at;
+      stamp.sender = static_cast<uint32_t>(node);
+      stamp.index = index;
+      const uint64_t stream =
+          static_cast<uint64_t>(node) *
+              static_cast<uint64_t>(cfg_.streams_per_node) +
+          index % static_cast<uint32_t>(cfg_.streams_per_node);
+      rings_.submit_keyed(node, stream, cfg_.service,
+                          harness::make_payload(cfg_.payload_size, stamp));
+      schedule_next(node, at + interval_, index + 1);
+    });
+  }
+
+  RingSet& rings_;
+  const MultiPointConfig& cfg_;
+  Nanos stop_;
+  Nanos interval_ = 0;
+};
+
+}  // namespace
+
+MultiPointResult run_multiring_point(const MultiPointConfig& config) {
+  RingSet rings(config.ring);
+  const Nanos window_start = config.warmup;
+  const Nanos window_end = config.warmup + config.measure;
+
+  util::LatencyStats latency;
+  std::vector<util::Meter> node_meter(
+      static_cast<size_t>(config.ring.nodes_per_ring));
+  std::vector<uint64_t> ring_bytes(static_cast<size_t>(config.ring.rings), 0);
+
+  rings.set_on_merged([&](int node, int ring, const protocol::Delivery& d,
+                          Nanos at) {
+    if (at < window_start || at >= window_end) return;
+    PayloadStamp stamp;
+    if (!harness::parse_payload(d.payload, stamp)) return;
+    latency.add(at - stamp.inject_time);
+    node_meter[static_cast<size_t>(node)].add(d.payload.size());
+    if (node == 0) ring_bytes[static_cast<size_t>(ring)] += d.payload.size();
+  });
+
+  ShardedInjector injector(rings, config, window_end);
+  rings.start_static();
+  injector.arm();
+  rings.run_until(window_end + util::msec(50));
+
+  MultiPointResult r;
+  r.offered_mbps = config.offered_mbps;
+  double sum = 0;
+  for (const auto& m : node_meter) sum += m.mbps(window_end - window_start);
+  r.merged_mbps = sum / static_cast<double>(node_meter.size());
+  r.mean_latency = latency.mean();
+  r.p50_latency = latency.percentile(0.5);
+  r.p99_latency = latency.percentile(0.99);
+  r.messages = node_meter[0].messages();
+  r.skip_msgs = rings.merger(0).stats().skip_msgs;
+  const double window_sec = util::to_sec(window_end - window_start);
+  for (const uint64_t bytes : ring_bytes) {
+    r.per_ring_mbps.push_back(static_cast<double>(bytes) * 8.0 / 1e6 /
+                              window_sec);
+  }
+  for (const harness::ClusterStats& cs : rings.ring_stats()) {
+    r.retransmits += cs.retransmits();
+    r.buffer_drops += cs.net.drops_buffer;
+    r.submit_rejected += cs.submit_rejected();
+    r.max_cpu_utilization =
+        std::max(r.max_cpu_utilization, cs.max_cpu_utilization());
+  }
+  return r;
+}
+
+void print_multiring_row(int rings, const MultiPointResult& r,
+                         double baseline_mbps) {
+  std::printf(
+      "%5d %12.0f %12.1f %8.2fx %12.1f %12.1f %10llu %10llu %8.1f\n", rings,
+      r.offered_mbps, r.merged_mbps,
+      baseline_mbps > 0 ? r.merged_mbps / baseline_mbps : 1.0,
+      util::to_usec(r.mean_latency), util::to_usec(r.p99_latency),
+      static_cast<unsigned long long>(r.retransmits),
+      static_cast<unsigned long long>(r.buffer_drops + r.submit_rejected),
+      100.0 * r.max_cpu_utilization);
+}
+
+}  // namespace accelring::multiring

@@ -1,0 +1,66 @@
+#include "multiring/merger.hpp"
+
+#include "util/bytes.hpp"
+
+namespace accelring::multiring {
+
+namespace {
+
+// First bytes of a skip payload. Chosen to be outside every frame-type byte
+// the layers sharing ordered streams use (groups: 1-3, rsm: 1-2), with a
+// 32-bit magic on top so an application payload cannot collide by accident.
+constexpr uint8_t kSkipTag = 0x5C;
+constexpr uint32_t kSkipMagic = 0x4B52524Du;  // "MRRK"
+
+}  // namespace
+
+std::vector<std::byte> make_skip(uint32_t slots) {
+  util::Writer w(9);
+  w.u8(kSkipTag);
+  w.u32(kSkipMagic);
+  w.u32(slots);
+  return std::move(w).take();
+}
+
+std::optional<uint32_t> decode_skip(std::span<const std::byte> payload) {
+  if (payload.size() != 9) return std::nullopt;
+  util::Reader r(payload);
+  if (r.u8() != kSkipTag || r.u32() != kSkipMagic) return std::nullopt;
+  const uint32_t slots = r.u32();
+  if (!r.done()) return std::nullopt;
+  return slots;
+}
+
+void DeterministicMerger::push(int ring, const protocol::Delivery& delivery) {
+  queues_[static_cast<size_t>(ring)].push_back(delivery);
+  pump();
+}
+
+void DeterministicMerger::pump() {
+  auto* queue = &queues_[static_cast<size_t>(cursor_)];
+  while (!queue->empty()) {
+    const protocol::Delivery d = std::move(queue->front());
+    queue->pop_front();
+    if (const auto slots = decode_skip(d.payload)) {
+      trace(util::TraceEvent::kSkipMsg, cursor_, d.seq);
+      ++stats_.skip_msgs;
+      stats_.skipped_slots += *slots;
+      credit_ += *slots;
+    } else {
+      trace(util::TraceEvent::kMergeDeliver, cursor_, d.seq);
+      ++stats_.merged;
+      credit_ += 1;
+      if (on_merged_) on_merged_(cursor_, d);
+    }
+    if (credit_ >= batch_) {
+      // Burst complete (excess skip credit is discarded — identically at
+      // every subscriber, so determinism is preserved).
+      credit_ = 0;
+      cursor_ = (cursor_ + 1) % num_rings();
+      ++stats_.rotations;
+      queue = &queues_[static_cast<size_t>(cursor_)];
+    }
+  }
+}
+
+}  // namespace accelring::multiring

@@ -1,0 +1,94 @@
+#include "multiring/ring_set.hpp"
+
+#include <cassert>
+
+namespace accelring::multiring {
+
+RingSet::RingSet(const MultiRingConfig& cfg)
+    : cfg_(cfg), shards_(cfg.rings) {
+  assert(cfg_.rings >= 1 && cfg_.nodes_per_ring >= 2);
+  ordered_at_probe_.assign(static_cast<size_t>(cfg_.rings), 0);
+  skip_baseline_.assign(static_cast<size_t>(cfg_.rings), 0);
+
+  for (int r = 0; r < cfg_.rings; ++r) {
+    // Each ring gets its own switch fabric (own multicast domain) but shares
+    // the one event queue, so all rings advance on one simulated clock.
+    // Seeds are ring-distinct so loss draws differ across rings.
+    clusters_.push_back(std::make_unique<harness::SimCluster>(
+        eq_, cfg_.nodes_per_ring, cfg_.fabric, cfg_.proto, cfg_.profile,
+        cfg_.seed + static_cast<uint64_t>(r) * 7919));
+  }
+  for (int n = 0; n < cfg_.nodes_per_ring; ++n) {
+    mergers_.push_back(
+        std::make_unique<DeterministicMerger>(cfg_.rings, cfg_.merge_batch));
+    mergers_.back()->set_on_merged(
+        [this, n](int ring, const protocol::Delivery& d) {
+          if (on_merged_) on_merged_(n, ring, d, push_at_);
+        });
+  }
+  for (int r = 0; r < cfg_.rings; ++r) {
+    clusters_[static_cast<size_t>(r)]->set_on_deliver(
+        [this, r](int node, const protocol::Delivery& d, Nanos at) {
+          if (node == 0) ++ordered_at_probe_[static_cast<size_t>(r)];
+          push_at_ = at;
+          mergers_[static_cast<size_t>(node)]->push(r, d);
+        });
+  }
+}
+
+void RingSet::set_on_config(ConfigFn fn) {
+  for (int r = 0; r < cfg_.rings; ++r) {
+    clusters_[static_cast<size_t>(r)]->set_on_config(
+        [fn, r](int node, const protocol::ConfigurationChange& change) {
+          fn(node, r, change);
+        });
+  }
+}
+
+void RingSet::start_static() {
+  for (auto& cluster : clusters_) cluster->start_static();
+  for (int r = 0; r < cfg_.rings; ++r) {
+    // Offset the first ticks so K skip daemons do not fire in lockstep.
+    eq_.schedule_after(
+        cfg_.skip_interval + cfg_.skip_interval * r / cfg_.rings,
+        [this, r] { skip_tick(r); });
+  }
+}
+
+void RingSet::skip_tick(int ring) {
+  const uint64_t ordered = ordered_at_probe_[static_cast<size_t>(ring)];
+  if (ordered - skip_baseline_[static_cast<size_t>(ring)] < cfg_.merge_batch) {
+    // The ring moved less than one merge batch since the last tick: order a
+    // skip so the merger's rotation passes this ring without waiting.
+    clusters_[static_cast<size_t>(ring)]->submit(
+        0, protocol::Service::kAgreed, make_skip(cfg_.merge_batch));
+  }
+  skip_baseline_[static_cast<size_t>(ring)] = ordered;
+  eq_.schedule_after(cfg_.skip_interval, [this, ring] { skip_tick(ring); });
+}
+
+void RingSet::submit(int node, int ring, protocol::Service service,
+                     std::vector<std::byte> payload) {
+  clusters_[static_cast<size_t>(ring)]->submit(node, service,
+                                               std::move(payload));
+}
+
+void RingSet::submit_keyed(int node, uint64_t key, protocol::Service service,
+                           std::vector<std::byte> payload) {
+  submit(node, shards_.ring_of_key(mix64(key)), service, std::move(payload));
+}
+
+void RingSet::submit_named(int node, std::string_view name,
+                           protocol::Service service,
+                           std::vector<std::byte> payload) {
+  submit(node, shards_.ring_of(name), service, std::move(payload));
+}
+
+std::vector<harness::ClusterStats> RingSet::ring_stats() const {
+  std::vector<harness::ClusterStats> out;
+  out.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) out.push_back(cluster->stats());
+  return out;
+}
+
+}  // namespace accelring::multiring

@@ -1,0 +1,102 @@
+// Multi-ring assembly: K independent Accelerated Ring instances, sharded
+// traffic, and a deterministic per-node merge of their delivery streams.
+//
+// The single-ring protocol's aggregate throughput is capped by one token
+// rotation and one daemon's CPU. Following Multi-Ring Paxos, this subsystem
+// runs K rings side by side: every logical node participates in all K rings
+// (one engine per ring, each on its own virtual CPU — a daemon per core),
+// every ring has its own switch fabric (its own multicast domain), and a
+// ShardMap routes each ordering key to one ring. A DeterministicMerger at
+// every node interleaves the K per-ring total orders into one combined total
+// order that is identical at all nodes, so applications written against a
+// single ordered stream (groups, RSM) run unchanged at K× the capacity.
+//
+// Liveness of the merge: node 0 of each ring arms a periodic skip daemon
+// that orders a skip message whenever its ring moved fewer than one merge
+// batch in the last interval, so an idle ring cannot stall the rotation
+// (merger.hpp explains the rule).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.hpp"
+#include "multiring/merger.hpp"
+#include "multiring/shard_map.hpp"
+
+namespace accelring::multiring {
+
+using harness::ImplProfile;
+using protocol::Nanos;
+
+struct MultiRingConfig {
+  int rings = 2;           ///< K
+  int nodes_per_ring = 8;  ///< logical nodes; each runs one engine per ring
+  simnet::FabricParams fabric = simnet::FabricParams::ten_gig();
+  protocol::ProtocolConfig proto;
+  ImplProfile profile = ImplProfile::kLibrary;
+  uint32_t merge_batch = 16;               ///< M slots per ring per rotation
+  Nanos skip_interval = util::usec(500);   ///< skip-daemon period
+  uint64_t seed = 1;
+};
+
+class RingSet {
+ public:
+  /// (node, ring, delivery, client-receipt time) — one merged emission.
+  using MergedFn = std::function<void(int node, int ring,
+                                      const protocol::Delivery& delivery,
+                                      Nanos at)>;
+  using ConfigFn = std::function<void(
+      int node, int ring, const protocol::ConfigurationChange& change)>;
+
+  explicit RingSet(const MultiRingConfig& cfg);
+
+  /// Start all K rings on pre-agreed static membership and arm the skip
+  /// daemons (the benchmark setup).
+  void start_static();
+
+  /// Submit to an explicit ring (callers that already routed).
+  void submit(int node, int ring, protocol::Service service,
+              std::vector<std::byte> payload);
+  /// Submit under an arbitrary 64-bit stream id; the shard map picks the
+  /// ring (the id is mixed, so small sequential ids still spread).
+  void submit_keyed(int node, uint64_t key, protocol::Service service,
+                    std::vector<std::byte> payload);
+  /// Submit under a name (group name / sender stream), sharded by hash.
+  void submit_named(int node, std::string_view name, protocol::Service service,
+                    std::vector<std::byte> payload);
+
+  void set_on_merged(MergedFn fn) { on_merged_ = std::move(fn); }
+  void set_on_config(ConfigFn fn);
+
+  void run_until(Nanos deadline) { eq_.run_until(deadline); }
+
+  [[nodiscard]] simnet::EventQueue& eq() { return eq_; }
+  [[nodiscard]] const ShardMap& shards() const { return shards_; }
+  [[nodiscard]] harness::SimCluster& ring(int r) { return *clusters_[r]; }
+  [[nodiscard]] DeterministicMerger& merger(int node) {
+    return *mergers_[node];
+  }
+  [[nodiscard]] int num_rings() const { return cfg_.rings; }
+  [[nodiscard]] int nodes_per_ring() const { return cfg_.nodes_per_ring; }
+  [[nodiscard]] const MultiRingConfig& config() const { return cfg_; }
+
+  /// Per-ring cluster counters (ClusterStats per ring, in ring order).
+  [[nodiscard]] std::vector<harness::ClusterStats> ring_stats() const;
+
+ private:
+  void skip_tick(int ring);
+
+  MultiRingConfig cfg_;
+  simnet::EventQueue eq_;
+  ShardMap shards_;
+  std::vector<std::unique_ptr<harness::SimCluster>> clusters_;   // per ring
+  std::vector<std::unique_ptr<DeterministicMerger>> mergers_;    // per node
+  std::vector<uint64_t> ordered_at_probe_;  ///< per ring: node-0 deliveries
+  std::vector<uint64_t> skip_baseline_;     ///< ... at the last skip tick
+  Nanos push_at_ = 0;  ///< receipt time of the delivery being merged
+  MergedFn on_merged_;
+};
+
+}  // namespace accelring::multiring

@@ -1,0 +1,34 @@
+#include "multiring/shard_map.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace accelring::multiring {
+
+ShardMap::ShardMap(int num_rings) {
+  assert(num_rings >= 1);
+  constexpr uint64_t kMaxId = std::numeric_limits<uint64_t>::max();
+  const uint64_t width = kMaxId / static_cast<uint64_t>(num_rings);
+  ranges_.resize(static_cast<size_t>(num_rings));
+  uint64_t lo = 0;
+  for (int r = 0; r < num_rings; ++r) {
+    // The last ring absorbs the rounding remainder so the ranges tile the
+    // whole hash space with no gap at kMaxId.
+    const uint64_t hi = r + 1 == num_rings ? kMaxId : lo + width - 1;
+    ranges_[static_cast<size_t>(r)] = Range{lo, hi};
+    lo = hi + 1;
+  }
+}
+
+int ShardMap::ring_of_key(uint64_t key) const {
+  // Ranges are equal-width and sorted: direct index, then clamp for the
+  // remainder absorbed by the last ring.
+  const uint64_t width = ranges_[0].hi - ranges_[0].lo + 1;
+  if (ranges_.size() == 1 || width == 0) return 0;
+  size_t idx = static_cast<size_t>(key / width);
+  if (idx >= ranges_.size()) idx = ranges_.size() - 1;
+  assert(ranges_[idx].contains(key));
+  return static_cast<int>(idx);
+}
+
+}  // namespace accelring::multiring

@@ -1,0 +1,72 @@
+// Shard map: assigns ordering keys (group names, sender streams) to rings.
+//
+// The multi-ring subsystem runs K independent Accelerated Ring instances and
+// multiplies aggregate throughput by spreading disjoint traffic across them
+// (Multi-Ring Paxos; Benz et al., "Stretching Multi-Ring Paxos"). The shard
+// map is the routing half of that design: a 64-bit hash ring split into K
+// contiguous, equal ranges, one per protocol ring. A key is hashed once and
+// the owning ring found by range lookup, so everything that must stay
+// FIFO-ordered relative to itself (one group, one sender stream) lands on one
+// ring, while unrelated keys spread uniformly across all K.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace accelring::multiring {
+
+/// splitmix64 finalizer: turns small sequential stream ids into uniform
+/// 64-bit keys before the range lookup (a raw counter would always land in
+/// ring 0's range).
+[[nodiscard]] constexpr uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a 64-bit; stable across platforms so shard assignment is part of the
+/// deployment contract (every node must route a group to the same ring).
+[[nodiscard]] constexpr uint64_t fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+class ShardMap {
+ public:
+  /// Inclusive range of the 64-bit hash space owned by one ring.
+  struct Range {
+    uint64_t lo = 1;
+    uint64_t hi = 0;  // default-constructed range matches nothing
+
+    [[nodiscard]] bool contains(uint64_t id) const {
+      return lo <= id && id <= hi;
+    }
+  };
+
+  explicit ShardMap(int num_rings);
+
+  /// Ring owning a raw 64-bit key.
+  [[nodiscard]] int ring_of_key(uint64_t key) const;
+  /// Ring owning a named entity (group name, sender name). The FNV hash is
+  /// finalized with mix64: FNV-1a concentrates its avalanche in the low bits
+  /// while the range lookup keys off the high bits.
+  [[nodiscard]] int ring_of(std::string_view name) const {
+    return ring_of_key(mix64(fnv1a(name)));
+  }
+
+  [[nodiscard]] int num_rings() const {
+    return static_cast<int>(ranges_.size());
+  }
+  [[nodiscard]] const Range& range_of(int ring) const { return ranges_[ring]; }
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+}  // namespace accelring::multiring

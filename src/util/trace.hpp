@@ -23,8 +23,10 @@ enum class TraceEvent : uint8_t {
   kRetransTx = 5,   ///< a=seq (retransmission answered)
   kDataRx = 6,      ///< a=seq, b=sender
   kDeliver = 7,     ///< a=seq, b=service
-  kRtrAdd = 8,      ///< a=seq requested for retransmission
-  kMembership = 9,  ///< a=ring id low bits, b=members
+  kRtrAdd = 8,       ///< a=seq requested for retransmission
+  kMembership = 9,   ///< a=ring id low bits, b=members
+  kMergeDeliver = 10,  ///< multi-ring merge output: a=ring id, b=seq
+  kSkipMsg = 11,       ///< multi-ring skip consumed: a=ring id, b=seq
 };
 
 struct TraceRecord {
@@ -60,6 +62,15 @@ class Tracer {
                records_.end());
     out.insert(out.end(), records_.begin(),
                records_.begin() + static_cast<long>(next_));
+    return out;
+  }
+
+  /// Records in chronological order, leaving the buffer empty — the
+  /// consume-and-reset accessor the multi-ring merger tests use to assert
+  /// ordering properties incrementally without re-scanning history.
+  [[nodiscard]] std::vector<TraceRecord> drain() {
+    std::vector<TraceRecord> out = snapshot();
+    clear();
     return out;
   }
 
