@@ -1,0 +1,367 @@
+#include "check/campaign.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "harness/workload.hpp"
+#include "multiring/ring_set.hpp"
+#include "util/rng.hpp"
+
+namespace accelring::check {
+namespace {
+
+/// Fault state shared between scheduled events and the drop filters.
+struct FaultState {
+  uint32_t token_drops_pending = 0;
+};
+
+simnet::Network::DropFilter token_drop_filter(
+    std::shared_ptr<FaultState> fault) {
+  return [fault = std::move(fault)](int, int, simnet::SocketId sock,
+                                    const std::vector<std::byte>&) {
+    if (sock != simnet::kTokenSocket || fault->token_drops_pending == 0) {
+      return false;
+    }
+    --fault->token_drops_pending;
+    return true;
+  };
+}
+
+protocol::Service pick_service(uint32_t index) {
+  // Mostly Agreed with a steady trickle of Safe, so both delivery paths and
+  // both sides of the safe line are exercised under faults.
+  return index % 5 == 0 ? protocol::Service::kSafe : protocol::Service::kAgreed;
+}
+
+/// Schedule the per-node workload chains on `eq`. `submit` is called with
+/// (node, index) at each firing; indices are unique per node.
+template <typename SubmitFn>
+void arm_workload(simnet::EventQueue& eq, const RunOptions& opt,
+                  SubmitFn submit) {
+  const int64_t shots = opt.horizon / opt.submit_interval;
+  for (int node = 0; node < opt.nodes; ++node) {
+    // Phase-shift nodes so submissions do not synchronize.
+    const Nanos phase =
+        opt.submit_interval * node / std::max(opt.nodes, 1);
+    for (int64_t k = 0; k < shots; ++k) {
+      const Nanos at = opt.submit_interval * k + phase + util::usec(50);
+      eq.schedule_after(at, [submit, node, k] {
+        submit(node, static_cast<uint32_t>(k));
+      });
+    }
+  }
+}
+
+RunResult run_single(const RunOptions& opt, const Schedule& schedule,
+                     uint64_t seed) {
+  harness::SimCluster cluster(opt.nodes, opt.fabric, opt.proto, opt.profile,
+                              seed);
+  ClusterOracle oracle(opt.nodes);
+  oracle.attach(cluster);
+  cluster.start_static();
+
+  auto fault = std::make_shared<FaultState>();
+  cluster.net().set_drop_filter(token_drop_filter(fault));
+
+  simnet::EventQueue& eq = cluster.eq();
+  for (const FaultEvent& e : schedule.events) {
+    eq.schedule_after(e.at, [&cluster, &oracle, fault, e] {
+      simnet::Network& net = cluster.net();
+      switch (e.kind) {
+        case FaultKind::kLossBurst:
+          net.set_loss_rate(e.rate);
+          cluster.eq().schedule_after(e.duration,
+                                      [&net] { net.set_loss_rate(0); });
+          break;
+        case FaultKind::kTokenDrop:
+          fault->token_drops_pending += e.count;
+          break;
+        case FaultKind::kPartition:
+          for (int n : e.group) net.set_partition(n, 1);
+          break;
+        case FaultKind::kHeal:
+          net.heal();
+          break;
+        case FaultKind::kCrash:
+          if (!net.host_down(e.node)) {
+            cluster.crash_node(e.node);
+            oracle.note_crash(e.node);
+          }
+          break;
+        case FaultKind::kRestart:
+          // Droppable by design: a restart whose crash was shrunk away (or
+          // that fires before it) is a no-op.
+          if (net.host_down(e.node)) {
+            cluster.restart_node(e.node);
+            oracle.note_restart(e.node);
+          }
+          break;
+      }
+    });
+  }
+
+  arm_workload(eq, opt, [&cluster, &oracle, &opt](int node, uint32_t index) {
+    if (cluster.net().host_down(node)) return;
+    oracle.note_submit(node, index);
+    harness::PayloadStamp stamp;
+    stamp.inject_time = cluster.eq().now();
+    stamp.sender = static_cast<uint32_t>(node);
+    stamp.index = index;
+    cluster.submit(node, pick_service(index),
+                   harness::make_payload(opt.payload_size, stamp));
+  });
+
+  // Heal everything at the horizon so the drain can converge.
+  eq.schedule_after(opt.horizon, [&cluster, fault] {
+    cluster.net().heal();
+    cluster.net().set_loss_rate(0);
+    fault->token_drops_pending = 0;
+  });
+
+  cluster.run_until(opt.horizon + opt.drain);
+
+  const harness::ClusterStats stats = cluster.stats();
+  oracle.finalize(&stats);
+
+  RunResult res;
+  res.ok = oracle.ok();
+  res.violations = oracle.violations();
+  res.delivered = oracle.observed();
+  res.report = oracle.report();
+  return res;
+}
+
+RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
+                    uint64_t seed) {
+  multiring::MultiRingConfig mcfg;
+  mcfg.rings = opt.rings;
+  mcfg.nodes_per_ring = opt.nodes;
+  mcfg.fabric = opt.fabric;
+  mcfg.proto = opt.proto;
+  mcfg.profile = opt.profile;
+  mcfg.merge_batch = opt.merge_batch;
+  mcfg.skip_interval = opt.skip_interval;
+  mcfg.seed = seed;
+  multiring::RingSet rings(mcfg);
+
+  std::vector<std::unique_ptr<ClusterOracle>> oracles;
+  for (int r = 0; r < opt.rings; ++r) {
+    oracles.push_back(std::make_unique<ClusterOracle>(
+        opt.nodes, "ring " + std::to_string(r)));
+    oracles.back()->attach(rings.ring(r));
+  }
+
+  MergedOracle merged(opt.nodes);
+  if (opt.inject_merge_bug) {
+    // Mutation: swap adjacent pairs of node 1's merged stream before the
+    // oracle sees them — a deliberate total-order bug the oracles must
+    // catch (and the shrinker must reduce).
+    auto held = std::make_shared<
+        std::optional<std::pair<int, protocol::Delivery>>>();
+    rings.add_on_merged([&merged, held](int node, int ring,
+                                        const protocol::Delivery& d, Nanos) {
+      if (node != 1) {
+        merged.on_merged(node, ring, d);
+        return;
+      }
+      if (!held->has_value()) {
+        *held = std::make_pair(ring, d);
+        return;
+      }
+      merged.on_merged(node, ring, d);
+      merged.on_merged(node, (*held)->first, (*held)->second);
+      held->reset();
+    });
+  } else {
+    merged.attach(rings);
+  }
+
+  rings.start_static();
+
+  auto fault = std::make_shared<FaultState>();
+  for (int r = 0; r < opt.rings; ++r) {
+    rings.ring(r).net().set_drop_filter(token_drop_filter(fault));
+  }
+
+  simnet::EventQueue& eq = rings.eq();
+  for (const FaultEvent& e : schedule.events) {
+    eq.schedule_after(e.at, [&rings, &oracles, &eq, fault, e] {
+      switch (e.kind) {
+        case FaultKind::kLossBurst:
+          for (int r = 0; r < rings.num_rings(); ++r) {
+            rings.ring(r).net().set_loss_rate(e.rate);
+          }
+          eq.schedule_after(e.duration, [&rings] {
+            for (int r = 0; r < rings.num_rings(); ++r) {
+              rings.ring(r).net().set_loss_rate(0);
+            }
+          });
+          break;
+        case FaultKind::kTokenDrop:
+          fault->token_drops_pending += e.count;
+          break;
+        case FaultKind::kPartition:
+          for (int r = 0; r < rings.num_rings(); ++r) {
+            for (int n : e.group) rings.ring(r).net().set_partition(n, 1);
+          }
+          break;
+        case FaultKind::kHeal:
+          for (int r = 0; r < rings.num_rings(); ++r) {
+            rings.ring(r).net().heal();
+          }
+          break;
+        case FaultKind::kCrash:
+          if (!rings.node_down(e.node)) {
+            rings.crash_node(e.node);
+            for (auto& oracle : oracles) oracle->note_crash(e.node);
+          }
+          break;
+        case FaultKind::kRestart:
+          // Cold restart is single-ring only: a restarted node's merged
+          // stream would legitimately hold gaps (messages delivered while
+          // it was down), which the merged-prefix oracle must not excuse.
+          break;
+      }
+    });
+  }
+
+  arm_workload(eq, opt, [&rings, &oracles, &opt](int node, uint32_t index) {
+    if (rings.node_down(node)) return;
+    const int ring = static_cast<int>(index) % opt.rings;
+    oracles[static_cast<size_t>(ring)]->note_submit(node, index);
+    harness::PayloadStamp stamp;
+    stamp.inject_time = rings.eq().now();
+    stamp.sender = static_cast<uint32_t>(node);
+    stamp.index = index;
+    rings.submit(node, ring, pick_service(index),
+                 harness::make_payload(opt.payload_size, stamp));
+  });
+
+  eq.schedule_after(opt.horizon, [&rings, fault] {
+    for (int r = 0; r < rings.num_rings(); ++r) {
+      rings.ring(r).net().heal();
+      rings.ring(r).net().set_loss_rate(0);
+    }
+    fault->token_drops_pending = 0;
+  });
+
+  rings.run_until(opt.horizon + opt.drain);
+
+  RunResult res;
+  res.ok = true;
+  for (int r = 0; r < opt.rings; ++r) {
+    const harness::ClusterStats stats = rings.ring(r).stats();
+    oracles[static_cast<size_t>(r)]->finalize(&stats);
+    res.delivered += oracles[static_cast<size_t>(r)]->observed();
+    res.ok = res.ok && oracles[static_cast<size_t>(r)]->ok();
+    for (const Violation& v : oracles[static_cast<size_t>(r)]->violations()) {
+      res.violations.push_back(v);
+    }
+  }
+  merged.finalize();
+  res.ok = res.ok && merged.ok();
+  for (const Violation& v : merged.violations()) res.violations.push_back(v);
+  std::vector<const std::vector<Violation>*> lists = {&res.violations};
+  res.report = join_reports(lists);
+  return res;
+}
+
+}  // namespace
+
+protocol::ProtocolConfig fast_proto_config() {
+  protocol::ProtocolConfig cfg;
+  cfg.token_loss_timeout = util::msec(30);
+  cfg.join_timeout = util::msec(5);
+  cfg.consensus_timeout = util::msec(60);
+  return cfg;
+}
+
+RunResult run_schedule(const RunOptions& opt, const Schedule& schedule,
+                       uint64_t seed) {
+  return opt.rings > 1 ? run_multi(opt, schedule, seed)
+                       : run_single(opt, schedule, seed);
+}
+
+Schedule shrink(const RunOptions& opt, const Schedule& schedule,
+                uint64_t seed) {
+  Schedule best = schedule;
+  bool improved = true;
+  while (improved && !best.events.empty()) {
+    improved = false;
+    for (Schedule& cand : shrink_candidates(best)) {
+      if (!run_schedule(opt, cand, seed).ok) {
+        best = std::move(cand);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+CampaignResult run_campaign(const CampaignOptions& opt) {
+  CampaignResult result;
+  size_t scenario_index = 0;
+  for (const Scenario& sc : scenarios()) {
+    const size_t idx = scenario_index++;
+    if (!opt.only.empty()) {
+      bool wanted = false;
+      for (const std::string& name : opt.only) wanted = wanted || name == sc.name;
+      if (!wanted) continue;
+    }
+    if (opt.run.rings > 1 && !sc.multiring_safe) continue;
+
+    std::vector<uint64_t> seeds;
+    for (int i = 0; i < opt.seeds_per_scenario; ++i) {
+      seeds.push_back(opt.seed_base + static_cast<uint64_t>(i));
+    }
+    for (uint64_t s : opt.extra_seeds) seeds.push_back(s);
+
+    int scenario_failures = 0;
+    for (uint64_t seed : seeds) {
+      // The schedule derives from (scenario, seed) alone, so a failure
+      // reproduces from the printed pair.
+      uint64_t sm = seed * 1000003ULL + idx;
+      const uint64_t gen_seed = util::splitmix64(sm);
+      const Schedule schedule =
+          sc.make(gen_seed, opt.run.nodes, opt.run.horizon);
+      const RunResult run = run_schedule(opt.run, schedule, seed);
+      ++result.runs;
+      result.delivered += run.delivered;
+      if (run.ok) continue;
+
+      ++result.failures;
+      ++scenario_failures;
+      std::fprintf(stderr,
+                   "campaign FAILURE scenario=%s seed=%llu rings=%d\n  %s\n",
+                   sc.name, static_cast<unsigned long long>(seed),
+                   opt.run.rings, describe(schedule).c_str());
+      for (const Violation& v : run.violations) {
+        std::fprintf(stderr, "  violation: %s\n", v.what.c_str());
+      }
+      if (result.cases.size() < 8) {
+        FailureCase fc;
+        fc.scenario = sc.name;
+        fc.seed = seed;
+        fc.schedule = schedule;
+        fc.shrunk = opt.shrink_failures ? shrink(opt.run, schedule, seed)
+                                        : schedule;
+        fc.report = run.report;
+        if (opt.shrink_failures) {
+          std::fprintf(stderr, "  shrunk to: %s\n",
+                       describe(fc.shrunk).c_str());
+        }
+        result.cases.push_back(std::move(fc));
+      }
+    }
+    if (opt.verbose) {
+      std::fprintf(stderr, "campaign scenario=%-22s rings=%d seeds=%zu %s\n",
+                   sc.name, opt.run.rings, seeds.size(),
+                   scenario_failures == 0 ? "ok" : "FAILED");
+    }
+  }
+  return result;
+}
+
+}  // namespace accelring::check

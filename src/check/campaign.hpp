@@ -1,0 +1,92 @@
+// Fault-injection campaign runner.
+//
+// run_schedule() drives one seeded simulation — a SimCluster, or a RingSet
+// when rings > 1 — under a fault Schedule with the safety oracles attached,
+// heals every fault at the horizon, drains, and returns the oracle verdict.
+// run_campaign() sweeps every applicable scenario across N seeds, prints
+// each failure's seed and schedule (a failure reproduces from those alone),
+// and greedily shrinks the failing schedule to a minimal reproducer.
+//
+// The `inject_merge_bug` option deliberately reorders node 1's merged
+// stream (adjacent-pair swap) before it reaches the MergedOracle — a
+// mutation used by the tests to prove the oracles catch ordering bugs and
+// the shrinker converges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "check/schedule.hpp"
+#include "harness/cluster.hpp"
+#include "protocol/types.hpp"
+#include "simnet/network.hpp"
+
+namespace accelring::check {
+
+/// Membership timeouts tight enough that view changes complete well inside a
+/// few-hundred-millisecond run.
+[[nodiscard]] protocol::ProtocolConfig fast_proto_config();
+
+struct RunOptions {
+  int nodes = 5;
+  int rings = 1;  ///< 1 = single cluster; >1 = RingSet with K rings
+  Nanos horizon = util::msec(250);     ///< workload + fault window
+  Nanos drain = util::msec(300);       ///< heal-all, then quiesce
+  Nanos submit_interval = util::msec(2);  ///< per-node submit cadence
+  size_t payload_size = 64;
+  simnet::FabricParams fabric = simnet::FabricParams::one_gig();
+  harness::ImplProfile profile = harness::ImplProfile::kLibrary;
+  protocol::ProtocolConfig proto = fast_proto_config();
+  uint32_t merge_batch = 4;                ///< multi-ring only
+  Nanos skip_interval = util::usec(300);   ///< multi-ring only
+  bool inject_merge_bug = false;           ///< mutation (multi-ring only)
+};
+
+struct RunResult {
+  bool ok = false;
+  std::vector<Violation> violations;
+  uint64_t delivered = 0;  ///< deliveries the oracles observed
+  std::string report;      ///< violations joined, "" when ok
+};
+
+[[nodiscard]] RunResult run_schedule(const RunOptions& opt,
+                                     const Schedule& schedule, uint64_t seed);
+
+/// Greedy shrink: repeatedly drop any single event whose removal keeps the
+/// run failing, until no event is removable. Deterministic given the seed.
+[[nodiscard]] Schedule shrink(const RunOptions& opt, const Schedule& schedule,
+                              uint64_t seed);
+
+struct CampaignOptions {
+  RunOptions run;
+  int seeds_per_scenario = 20;
+  uint64_t seed_base = 1;
+  bool shrink_failures = true;
+  bool verbose = false;  ///< print per-scenario progress to stderr
+  /// Restrict to these scenario names (empty = all applicable to run.rings).
+  std::vector<std::string> only;
+  /// Extra seeds replayed for every scenario (the tests/seeds corpus).
+  std::vector<uint64_t> extra_seeds;
+};
+
+struct FailureCase {
+  std::string scenario;
+  uint64_t seed = 0;
+  Schedule schedule;
+  Schedule shrunk;  ///< == schedule when shrinking is off
+  std::string report;
+};
+
+struct CampaignResult {
+  int runs = 0;
+  int failures = 0;
+  uint64_t delivered = 0;            ///< across all runs
+  std::vector<FailureCase> cases;    ///< detail for the first failures
+  [[nodiscard]] bool ok() const { return failures == 0; }
+};
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& opt);
+
+}  // namespace accelring::check

@@ -1,0 +1,262 @@
+#include "check/schedule.hpp"
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace accelring::check {
+namespace {
+
+using util::Rng;
+
+/// A fault time inside the active window [horizon/10, horizon * 7/10] (so
+/// the tail of the horizon still carries faulted traffic before the drain).
+Nanos fault_time(Rng& rng, Nanos horizon) {
+  const Nanos lo = horizon / 10;
+  const Nanos hi = horizon * 7 / 10;
+  return rng.range(lo, hi);
+}
+
+/// A crash / restart victim. Node 0 is excluded: it creates the pre-agreed
+/// static start ring (epoch 1), and a cold restart of creator `i` can
+/// legitimately recreate ring id (1, i) — excluding node 0 keeps ring ids
+/// unique per run so the oracles' cross-node checks stay strict.
+int victim(Rng& rng, int nodes) {
+  return static_cast<int>(rng.range(1, nodes - 1));
+}
+
+Schedule loss_bursts(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"loss_bursts", {}};
+  const int bursts = static_cast<int>(rng.range(1, 3));
+  for (int i = 0; i < bursts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLossBurst;
+    e.at = fault_time(rng, horizon);
+    e.rate = 0.05 + rng.uniform() * 0.35;
+    e.duration = util::msec(rng.range(5, 40));
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
+Schedule token_drops(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"token_drops", {}};
+  const int drops = static_cast<int>(rng.range(1, 3));
+  for (int i = 0; i < drops; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kTokenDrop;
+    e.at = fault_time(rng, horizon);
+    e.count = static_cast<uint32_t>(rng.range(1, 5));
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
+/// Split off a random non-empty strict subset of the nodes.
+std::vector<int> random_group(Rng& rng, int nodes) {
+  std::vector<int> group;
+  const int take = static_cast<int>(rng.range(1, nodes - 1));
+  // Reservoir-free pick: walk nodes, take until quota met.
+  for (int n = 0; n < nodes && static_cast<int>(group.size()) < take; ++n) {
+    const int left = nodes - n;
+    const int need = take - static_cast<int>(group.size());
+    if (rng.below(static_cast<uint64_t>(left)) <
+        static_cast<uint64_t>(need)) {
+      group.push_back(n);
+    }
+  }
+  return group;
+}
+
+Schedule make_partition(uint64_t seed, int nodes, Nanos horizon,
+                        bool delayed_heal) {
+  Rng rng(seed);
+  Schedule s{delayed_heal ? "partition_delayed_heal" : "partition", {}};
+  FaultEvent cut;
+  cut.kind = FaultKind::kPartition;
+  cut.at = fault_time(rng, horizon);
+  cut.group = random_group(rng, nodes);
+  FaultEvent heal;
+  heal.kind = FaultKind::kHeal;
+  heal.at = delayed_heal
+                ? horizon - horizon / 10  // heal only just before the drain
+                : std::min<Nanos>(cut.at + util::msec(rng.range(30, 80)),
+                                  horizon);
+  s.events.push_back(std::move(cut));
+  s.events.push_back(std::move(heal));
+  return s;
+}
+
+Schedule partition(uint64_t seed, int nodes, Nanos horizon) {
+  return make_partition(seed, nodes, horizon, /*delayed_heal=*/false);
+}
+
+Schedule partition_delayed_heal(uint64_t seed, int nodes, Nanos horizon) {
+  return make_partition(seed, nodes, horizon, /*delayed_heal=*/true);
+}
+
+Schedule crash(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"crash", {}};
+  FaultEvent e;
+  e.kind = FaultKind::kCrash;
+  e.at = fault_time(rng, horizon);
+  e.node = victim(rng, nodes);
+  s.events.push_back(std::move(e));
+  return s;
+}
+
+Schedule crash_restart(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"crash_restart", {}};
+  FaultEvent down;
+  down.kind = FaultKind::kCrash;
+  down.at = fault_time(rng, horizon);
+  down.node = victim(rng, nodes);
+  FaultEvent up;
+  up.kind = FaultKind::kRestart;
+  up.node = down.node;
+  up.at = std::min<Nanos>(down.at + util::msec(rng.range(20, 80)), horizon);
+  s.events.push_back(std::move(down));
+  s.events.push_back(std::move(up));
+  return s;
+}
+
+Schedule mixed(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"mixed", {}};
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kLossBurst;
+    e.at = fault_time(rng, horizon);
+    e.rate = 0.05 + rng.uniform() * 0.25;
+    e.duration = util::msec(rng.range(5, 25));
+    s.events.push_back(std::move(e));
+  }
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kTokenDrop;
+    e.at = fault_time(rng, horizon);
+    e.count = static_cast<uint32_t>(rng.range(1, 3));
+    s.events.push_back(std::move(e));
+  }
+  const int node = victim(rng, nodes);
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kCrash;
+    e.at = fault_time(rng, horizon);
+    e.node = node;
+    s.events.push_back(std::move(e));
+  }
+  if (rng.chance(0.5)) {
+    FaultEvent e;
+    e.kind = FaultKind::kRestart;
+    e.node = node;
+    // Restart may land before the crash; the runner skips it then, which is
+    // exactly the droppable-event property shrinking relies on.
+    e.at = fault_time(rng, horizon);
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLossBurst:
+      return "loss_burst";
+    case FaultKind::kTokenDrop:
+      return "token_drop";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRestart:
+      return "restart";
+  }
+  return "?";
+}
+
+std::string describe(const FaultEvent& event) {
+  std::ostringstream os;
+  os << "t=" << util::to_msec(event.at) << "ms " << fault_name(event.kind);
+  switch (event.kind) {
+    case FaultKind::kLossBurst:
+      os << " rate=" << event.rate << " for " << util::to_msec(event.duration)
+         << "ms";
+      break;
+    case FaultKind::kTokenDrop:
+      os << " count=" << event.count;
+      break;
+    case FaultKind::kPartition: {
+      os << " group={";
+      for (size_t i = 0; i < event.group.size(); ++i) {
+        if (i) os << ",";
+        os << event.group[i];
+      }
+      os << "}";
+      break;
+    }
+    case FaultKind::kHeal:
+      break;
+    case FaultKind::kCrash:
+    case FaultKind::kRestart:
+      os << " node=" << event.node;
+      break;
+  }
+  return os.str();
+}
+
+std::string describe(const Schedule& schedule) {
+  std::ostringstream os;
+  os << schedule.scenario << " [";
+  for (size_t i = 0; i < schedule.events.size(); ++i) {
+    if (i) os << "; ";
+    os << describe(schedule.events[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"loss_bursts", loss_bursts, true},
+      {"token_drops", token_drops, true},
+      {"partition", partition, false},
+      {"partition_delayed_heal", partition_delayed_heal, false},
+      {"crash", crash, true},
+      {"crash_restart", crash_restart, false},
+      {"mixed", mixed, false},
+  };
+  return kScenarios;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : scenarios()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<Schedule> shrink_candidates(const Schedule& schedule) {
+  std::vector<Schedule> out;
+  out.reserve(schedule.events.size());
+  for (size_t drop = 0; drop < schedule.events.size(); ++drop) {
+    Schedule cand;
+    cand.scenario = schedule.scenario;
+    for (size_t i = 0; i < schedule.events.size(); ++i) {
+      if (i != drop) cand.events.push_back(schedule.events[i]);
+    }
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace accelring::check

@@ -1,0 +1,73 @@
+// Fault-schedule DSL for the campaign runner.
+//
+// A Schedule is a short list of timed fault events against a running
+// cluster: loss bursts, token drops, partitions (with immediate or delayed
+// heal), and node crash/restart. Schedules are generated deterministically
+// from a seed by small scenario generators, so a failure reproduces from
+// (scenario, seed) alone; the campaign runner (campaign.hpp) also shrinks a
+// failing schedule to a minimal reproducer by greedy event removal, which
+// works because every event is independently droppable (a heal without a
+// partition, or a restart without a crash, degrades to a no-op).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace accelring::check {
+
+using util::Nanos;
+
+enum class FaultKind : uint8_t {
+  kLossBurst,  ///< random loss at `rate` for `duration`
+  kTokenDrop,  ///< absorb the next `count` token-socket datagrams
+  kPartition,  ///< move `group` into their own partition
+  kHeal,       ///< put every host back into one partition
+  kCrash,      ///< take `node` down
+  kRestart,    ///< cold-restart `node` (no-op unless it is down)
+};
+
+[[nodiscard]] const char* fault_name(FaultKind kind);
+
+struct FaultEvent {
+  Nanos at = 0;
+  FaultKind kind = FaultKind::kLossBurst;
+  int node = -1;           ///< crash / restart victim
+  double rate = 0;         ///< loss probability during a burst
+  Nanos duration = 0;      ///< loss-burst length
+  uint32_t count = 0;      ///< token datagrams to absorb
+  std::vector<int> group;  ///< partition members split off
+};
+
+struct Schedule {
+  std::string scenario;
+  std::vector<FaultEvent> events;
+};
+
+[[nodiscard]] std::string describe(const FaultEvent& event);
+[[nodiscard]] std::string describe(const Schedule& schedule);
+
+/// Scenario generator: deterministic schedule from (seed, cluster size,
+/// fault horizon). All generated events land inside [horizon/10, horizon].
+using ScenarioFn = Schedule (*)(uint64_t seed, int nodes, Nanos horizon);
+
+struct Scenario {
+  const char* name;
+  ScenarioFn make;
+  /// Safe to run against a multi-ring set: faults that may legitimately
+  /// split the merged total order (partitions) are excluded there.
+  bool multiring_safe;
+};
+
+/// The scenario catalogue, in campaign order.
+[[nodiscard]] const std::vector<Scenario>& scenarios();
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const Scenario* find_scenario(const std::string& name);
+
+/// All one-event-removed variants, in order (for greedy shrinking).
+[[nodiscard]] std::vector<Schedule> shrink_candidates(
+    const Schedule& schedule);
+
+}  // namespace accelring::check

@@ -74,6 +74,7 @@ void SimCluster::init(int num_nodes) {
   // Fragment-count CPU accounting must agree with the fabric's MTU.
   setup_.proc_costs.mtu = fabric_.mtu;
   nodes_.resize(num_nodes);
+  restarts_.assign(static_cast<size_t>(num_nodes), 0);
   for (int i = 0; i < num_nodes; ++i) wire_node(i);
 }
 
@@ -108,11 +109,38 @@ void SimCluster::wire_node(int i) {
                           static_cast<double>(delivery.payload.size()) *
                           setup_.ipc_per_byte));
     const Nanos client_sees = n.process->now() + setup_.ipc_latency;
+    for (const DeliverFn& fn : deliver_observers_) fn(i, delivery, client_sees);
     if (on_deliver_) on_deliver_(i, delivery, client_sees);
   });
   node.host->set_config([this, i](const protocol::ConfigurationChange& c) {
+    for (const ConfigFn& fn : config_observers_) fn(i, c);
     if (on_config_) on_config_(i, c);
   });
+}
+
+void SimCluster::crash_node(int node) {
+  assert(node >= 0 && node < size());
+  net_.set_host_down(node, true);
+}
+
+void SimCluster::restart_node(int node) {
+  assert(node >= 0 && node < size());
+  assert(net_.host_down(node));
+  // Retire the old incarnation: mute its host (sends, deliveries, timer
+  // rearms all become no-ops) and move it to the graveyard so any simulator
+  // events still holding pointers to its process/engine stay valid.
+  SimNode& old = nodes_[node];
+  old.host->set_dead(true);
+  retired_.push_back(std::move(old));
+  nodes_[node] = SimNode{};
+  wire_node(node);
+  // Deliveries of previous incarnations stay counted in the retired node;
+  // carry the count over so ClusterStats::delivered stays cumulative.
+  nodes_[node].delivered = retired_.back().delivered;
+  ++restarts_[static_cast<size_t>(node)];
+  net_.set_host_down(node, false);
+  nodes_[node].process->run_soon(
+      [this, node] { nodes_[node].engine->start_discovery(); });
 }
 
 void SimCluster::start_static() {

@@ -155,6 +155,34 @@ class SimCluster {
   void set_on_deliver(DeliverFn fn) { on_deliver_ = std::move(fn); }
   void set_on_config(ConfigFn fn) { on_config_ = std::move(fn); }
 
+  /// Additional observers, invoked *before* the primary callback on every
+  /// delivery / configuration change. Unlike set_on_deliver/set_on_config
+  /// these accumulate, so a safety oracle can watch a cluster without
+  /// stealing the callback a test or the multi-ring merger installed.
+  void add_on_deliver(DeliverFn fn) {
+    deliver_observers_.push_back(std::move(fn));
+  }
+  void add_on_config(ConfigFn fn) {
+    config_observers_.push_back(std::move(fn));
+  }
+
+  /// Fault injection: take `node` down (it neither sends nor receives, and
+  /// stays down until restarted). Idempotent.
+  void crash_node(int node);
+
+  /// Replace a crashed node with a fresh process/engine at the same index
+  /// and start it on the membership algorithm (a cold restart: all ordering
+  /// and membership state is lost, as for a real rebooted daemon). The old
+  /// node's objects are retired, muted, and kept alive so simulator events
+  /// already queued against them resolve harmlessly. Requires crash_node()
+  /// first.
+  void restart_node(int node);
+
+  /// Restarts performed on `node` so far (0 = still the original engine).
+  [[nodiscard]] int restarts(int node) const {
+    return restarts_[static_cast<size_t>(node)];
+  }
+
   [[nodiscard]] simnet::EventQueue& eq() { return eq_; }
   [[nodiscard]] simnet::Network& net() { return net_; }
   [[nodiscard]] protocol::Engine& engine(int node) {
@@ -193,8 +221,14 @@ class SimCluster {
   NodeSetup setup_;
   simnet::Network net_;
   std::vector<SimNode> nodes_;
+  /// Crashed-and-replaced nodes, kept alive for pointer stability (pending
+  /// simulator events may still reference their process/host/engine).
+  std::vector<SimNode> retired_;
+  std::vector<int> restarts_;
   DeliverFn on_deliver_;
   ConfigFn on_config_;
+  std::vector<DeliverFn> deliver_observers_;
+  std::vector<ConfigFn> config_observers_;
 };
 
 }  // namespace accelring::harness

@@ -31,7 +31,7 @@ void Membership::start_discovery() {
 // Gather
 // ---------------------------------------------------------------------------
 
-void Membership::enter_gather() {
+void Membership::enter_gather(bool keep_candidates) {
   ++gathers_started_;
   if (engine_.state_ == State::kRecover) {
     // Abort the in-progress recovery: content already learned lives in
@@ -49,10 +49,22 @@ void Membership::enter_gather() {
   engine_.host_.cancel_timer(protocol::kTimerTokenRetransmit);
   engine_.host_.cancel_timer(protocol::kTimerTokenLoss);
 
-  candidates_ = {engine_.self_};
-  fail_set_.clear();
+  // A re-gather caused by new membership information arriving mid-commit
+  // keeps the candidate set: those processes agreed with us milliseconds
+  // ago, our join must keep advertising them or every reopened node starts
+  // from {self} and the mutually-"different" joins cascade into a reopen
+  // storm. Silent candidates are pruned by the consensus timeout. All other
+  // causes (boot, token loss, foreign traffic while operational) assume
+  // nothing about liveness and restart from scratch.
+  if (!keep_candidates) {
+    candidates_ = {engine_.self_};
+    fail_set_.clear();
+  }
   joins_.clear();
   last_commit_id_ = 0;
+  engine_.trace(util::TraceEvent::kGatherEnter,
+                static_cast<int64_t>(candidates_.size()),
+                static_cast<int64_t>(gathers_started_));
   send_join();
   engine_.host_.set_timer(protocol::kTimerJoin, engine_.cfg_.join_timeout);
   engine_.host_.set_timer(protocol::kTimerConsensus,
@@ -81,9 +93,20 @@ void Membership::on_join(const JoinMsg& join) {
     // merge with their new ring later via foreign-message detection.
     return;
   }
+  if (engine_.state_ == State::kCommit || engine_.state_ == State::kRecover) {
+    // Membership is already agreed and being installed: defer. Most such
+    // joins are straggler retransmissions from the gather that produced the
+    // agreement; aborting on them restarts the cycle every time and the
+    // reformation never converges. A genuinely new process keeps
+    // retransmitting its Join until we are operational again and respond,
+    // and if the sender is a member that left our in-progress ring, the
+    // stalled token rescues us via the token-loss timeout (which is shorter
+    // than the sender's consensus timeout, so nobody is pruned meanwhile).
+    return;
+  }
   if (engine_.state_ != State::kGather) {
-    // A Join always reopens membership: someone wants a configuration that
-    // differs from ours (new process, recovered process, healed partition).
+    // A Join reopens membership: someone wants a configuration that differs
+    // from ours (new process, recovered process, healed partition).
     enter_gather();
   }
 
@@ -138,6 +161,9 @@ void Membership::check_consensus() {
 void Membership::start_commit() {
   commit_ = CommitTokenMsg{};
   commit_.new_ring_id = make_ring_id(max_epoch_seen_ + 1, engine_.self_);
+  // The proposed epoch is now spoken for: if this attempt dies and we gather
+  // again, the next proposal must use a fresh ring id.
+  max_epoch_seen_ = ring_epoch(commit_.new_ring_id);
   commit_.token_id = 1;
   commit_.rotation = 0;
   for (ProcessId p : candidates_) {
@@ -189,15 +215,23 @@ void Membership::on_commit(const CommitTokenMsg& commit) {
   for (const CommitEntry& e : commit.members) pids.insert(e.pid);
   if (!pids.contains(engine_.self_)) return;
   if (commit.token_id <= last_commit_id_) return;  // duplicate
+  if (stale_rings_.contains(commit.new_ring_id)) {
+    // A commit token for an incarnation we already aborted (we re-entered
+    // gather from its recovery). Accepting it again would wipe ordering
+    // state while that ring's original token may still circulate.
+    return;
+  }
+  // Learn the epoch even if we end up rejecting this proposal below, so the
+  // next proposal we create cannot reuse a ring id that is already live.
+  max_epoch_seen_ =
+      std::max(max_epoch_seen_, ring_epoch(commit.new_ring_id));
 
   if (pids != candidates_) {
     // The proposed membership no longer matches what we agreed to.
-    enter_gather();
+    enter_gather(/*keep_candidates=*/true);
     return;
   }
   last_commit_id_ = commit.token_id;
-  max_epoch_seen_ =
-      std::max(max_epoch_seen_, ring_epoch(commit.new_ring_id));
 
   if (commit.rotation == 0) {
     const bool i_created = commit.members.front().pid == engine_.self_ &&
@@ -251,6 +285,12 @@ void Membership::on_commit(const CommitTokenMsg& commit) {
 
 void Membership::enter_recover(const CommitTokenMsg& commit) {
   commit_table_ = commit.members;
+  // Every member's previous ring is subsumed by this merge: straggler
+  // traffic from any of them (data retransmissions, in-flight tokens from
+  // the other side of a healed partition) must not abort the recovery.
+  for (const CommitEntry& e : commit.members) {
+    stale_rings_.insert(e.old_ring_id);
+  }
 
   if (!have_snapshot_) {
     old_buffer_ = std::move(engine_.buffer_);
@@ -364,6 +404,9 @@ void Membership::finalize_recovery() {
   for (ProcessId p : old_ring_.members) {
     if (engine_.ring_.index_of(p) >= 0) transitional.members.push_back(p);
   }
+  engine_.trace(util::TraceEvent::kViewChange,
+                static_cast<int64_t>(transitional.ring_id & 0xFFFFFFFF),
+                -static_cast<int64_t>(transitional.members.size()));
   engine_.host_.on_configuration(
       protocol::ConfigurationChange{transitional, /*transitional=*/true});
 
@@ -384,6 +427,9 @@ void Membership::finalize_recovery() {
   eor_received_.clear();
   engine_.state_ = State::kOperational;
   ++engine_.stats_.memberships;
+  engine_.trace(util::TraceEvent::kViewChange,
+                static_cast<int64_t>(engine_.ring_.ring_id & 0xFFFFFFFF),
+                static_cast<int64_t>(engine_.ring_.size()));
   engine_.host_.on_configuration(
       protocol::ConfigurationChange{engine_.ring_, /*transitional=*/false});
   ACCELRING_LOG_INFO(kTag, "p%u: installed ring %llx with %zu members",
@@ -402,10 +448,12 @@ void Membership::on_foreign(ProcessId sender, RingId ring_id) {
   if (ring_id == engine_.ring_.ring_id) return;
   if (stale_rings_.contains(ring_id)) return;
   max_epoch_seen_ = std::max(max_epoch_seen_, ring_epoch(ring_id));
-  if (engine_.state_ == State::kGather) return;  // joins will converge
-  if ((engine_.state_ == State::kCommit || engine_.state_ == State::kRecover) &&
-      ring_id == commit_.new_ring_id) {
-    return;  // traffic for the ring being formed; not foreign
+  if (engine_.state_ != State::kOperational) {
+    // Already reforming membership. Our joins are multicast, so any live
+    // foreign ring will be drawn into the gather; reacting here would let
+    // straggler traffic from an aborted incarnation cancel the attempt in
+    // progress and the next one, in a cycle that never converges.
+    return;
   }
   ACCELRING_LOG_INFO(kTag, "p%u: foreign ring %llx detected",
                      unsigned{engine_.self_},

@@ -91,7 +91,7 @@ class Membership {
  private:
   using State = protocol::Engine::State;
 
-  void enter_gather();
+  void enter_gather(bool keep_candidates = false);
   void send_join();
   void check_consensus();
   /// True when `pid`'s latest Join matches my candidate and fail sets.

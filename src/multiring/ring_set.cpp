@@ -23,6 +23,7 @@ RingSet::RingSet(const MultiRingConfig& cfg)
         std::make_unique<DeterministicMerger>(cfg_.rings, cfg_.merge_batch));
     mergers_.back()->set_on_merged(
         [this, n](int ring, const protocol::Delivery& d) {
+          for (const MergedFn& fn : merged_observers_) fn(n, ring, d, push_at_);
           if (on_merged_) on_merged_(n, ring, d, push_at_);
         });
   }
@@ -59,12 +60,26 @@ void RingSet::skip_tick(int ring) {
   const uint64_t ordered = ordered_at_probe_[static_cast<size_t>(ring)];
   if (ordered - skip_baseline_[static_cast<size_t>(ring)] < cfg_.merge_batch) {
     // The ring moved less than one merge batch since the last tick: order a
-    // skip so the merger's rotation passes this ring without waiting.
-    clusters_[static_cast<size_t>(ring)]->submit(
-        0, protocol::Service::kAgreed, make_skip(cfg_.merge_batch));
+    // skip so the merger's rotation passes this ring without waiting. The
+    // lowest live node arms the skip; if node 0 crashed, its successor takes
+    // over (every node runs the same deterministic rule, so exactly one
+    // submits).
+    harness::SimCluster& cluster = *clusters_[static_cast<size_t>(ring)];
+    for (int n = 0; n < cfg_.nodes_per_ring; ++n) {
+      if (cluster.net().host_down(n)) continue;
+      cluster.submit(n, protocol::Service::kAgreed,
+                     make_skip(cfg_.merge_batch));
+      break;
+    }
   }
   skip_baseline_[static_cast<size_t>(ring)] = ordered;
   eq_.schedule_after(cfg_.skip_interval, [this, ring] { skip_tick(ring); });
+}
+
+void RingSet::crash_node(int node) {
+  assert(node >= 0 && node < cfg_.nodes_per_ring);
+  // One machine hosts this node's K engines: all of them go silent at once.
+  for (auto& cluster : clusters_) cluster->crash_node(node);
 }
 
 void RingSet::submit(int node, int ring, protocol::Service service,

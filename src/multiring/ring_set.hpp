@@ -68,7 +68,19 @@ class RingSet {
                     std::vector<std::byte> payload);
 
   void set_on_merged(MergedFn fn) { on_merged_ = std::move(fn); }
+  /// Additional merged-stream observers, invoked before the primary callback
+  /// on every merged emission (accumulate; used by the check oracles).
+  void add_on_merged(MergedFn fn) {
+    merged_observers_.push_back(std::move(fn));
+  }
   void set_on_config(ConfigFn fn);
+
+  /// Fault injection: take logical node `node` down in every ring at once
+  /// (one machine hosting K engines loses power). The node stays down.
+  void crash_node(int node);
+  [[nodiscard]] bool node_down(int node) const {
+    return clusters_.front()->net().host_down(node);
+  }
 
   void run_until(Nanos deadline) { eq_.run_until(deadline); }
 
@@ -97,6 +109,7 @@ class RingSet {
   std::vector<uint64_t> skip_baseline_;     ///< ... at the last skip tick
   Nanos push_at_ = 0;  ///< receipt time of the delivery being merged
   MergedFn on_merged_;
+  std::vector<MergedFn> merged_observers_;
 };
 
 }  // namespace accelring::multiring

@@ -8,8 +8,20 @@ SimHost::SimHost(simnet::Network& net, simnet::Process& proc, int node,
                  HostCosts costs)
     : net_(net), proc_(proc), node_(node), costs_(costs) {}
 
+void SimHost::set_dead(bool dead) {
+  dead_ = dead;
+  if (!dead_) return;
+  // A dead engine must not keep ticking: cancel every protocol timer so
+  // retransmit/membership loops stop rearming themselves.
+  for (int kind = protocol::kTimerTokenRetransmit;
+       kind <= protocol::kTimerBaselineFlush; ++kind) {
+    proc_.cancel_timer(kind);
+  }
+}
+
 void SimHost::multicast(protocol::SocketId sock,
                         std::span<const std::byte> data) {
+  if (dead_) return;
   proc_.charge(send_cost(data.size()));
   net_.send(node_, simnet::kMulticast, sock, util::to_vector(data),
             proc_.now());
@@ -17,21 +29,25 @@ void SimHost::multicast(protocol::SocketId sock,
 
 void SimHost::unicast(protocol::ProcessId to, protocol::SocketId sock,
                       std::span<const std::byte> data, Nanos delay) {
+  if (dead_) return;
   proc_.charge(send_cost(data.size()));
   net_.send(node_, static_cast<int>(to), sock, util::to_vector(data),
             proc_.now() + delay);
 }
 
 void SimHost::deliver(const protocol::Delivery& delivery) {
+  if (dead_) return;
   proc_.charge(costs_.delivery);
   if (deliver_) deliver_(delivery);
 }
 
 void SimHost::on_configuration(const protocol::ConfigurationChange& change) {
+  if (dead_) return;
   if (config_) config_(change);
 }
 
 void SimHost::set_timer(protocol::TimerKind kind, Nanos delay) {
+  if (dead_) return;
   proc_.set_timer(kind, delay);
 }
 
@@ -41,6 +57,7 @@ void SimHost::cancel_timer(protocol::TimerKind kind) {
 
 void SimHost::on_packet(simnet::SocketId sock,
                         std::span<const std::byte> data) {
+  if (dead_) return;  // leftover inbox items of a crashed node
   if (sock == simnet::kIpcSocket) {
     if (ipc_) ipc_(data);
     return;
@@ -64,6 +81,7 @@ simnet::SocketId SimHost::preferred_socket() const {
 }
 
 void SimHost::on_timer(int kind) {
+  if (dead_) return;  // a timer that fired while the cancel was in flight
   assert(handler_ != nullptr);
   handler_->on_timer(static_cast<protocol::TimerKind>(kind));
 }

@@ -59,6 +59,14 @@ class SimHost final : public protocol::Host, public simnet::PacketSink {
   [[nodiscard]] int node() const { return node_; }
   [[nodiscard]] const HostCosts& costs() const { return costs_; }
 
+  /// Permanently mute this host (crash modelling): sends, deliveries,
+  /// configuration callbacks, and timer (re)arms become no-ops, and every
+  /// pending protocol timer is cancelled. The host object stays alive so
+  /// events already queued against it resolve harmlessly, which lets the
+  /// harness replace a crashed node with a fresh engine at the same index.
+  void set_dead(bool dead);
+  [[nodiscard]] bool dead() const { return dead_; }
+
   // --- protocol::Host --------------------------------------------------------
   void multicast(protocol::SocketId sock,
                  std::span<const std::byte> data) override;
@@ -87,6 +95,7 @@ class SimHost final : public protocol::Host, public simnet::PacketSink {
   simnet::Process& proc_;
   int node_;
   HostCosts costs_;
+  bool dead_ = false;
   protocol::PacketHandler* handler_ = nullptr;
   DeliverFn deliver_;
   ConfigFn config_;

@@ -8,6 +8,7 @@
 // the token (the defining behaviour of the Accelerated Ring protocol).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +28,9 @@ enum class TraceEvent : uint8_t {
   kMembership = 9,   ///< a=ring id low bits, b=members
   kMergeDeliver = 10,  ///< multi-ring merge output: a=ring id, b=seq
   kSkipMsg = 11,       ///< multi-ring skip consumed: a=ring id, b=seq
+  kGatherEnter = 12,   ///< membership gather started: a=candidates, b=gathers
+  kViewChange = 13,    ///< EVS config delivered: a=ring id low bits,
+                       ///< b=members (negative when transitional)
 };
 
 struct TraceRecord {
@@ -66,11 +70,26 @@ class Tracer {
   }
 
   /// Records in chronological order, leaving the buffer empty — the
-  /// consume-and-reset accessor the multi-ring merger tests use to assert
-  /// ordering properties incrementally without re-scanning history.
+  /// consume-and-reset accessor incremental consumers (merger tests, the
+  /// check oracles) use to assert ordering properties without re-scanning
+  /// history. The buffer is detached *before* the records are returned, so
+  /// events recorded re-entrantly while a consumer iterates the result (an
+  /// oracle that subscribes mid-run and whose processing itself traces) land
+  /// in the fresh buffer and survive to the next drain instead of being
+  /// destroyed. total_recorded() stays cumulative across drains; only
+  /// clear() resets it.
   [[nodiscard]] std::vector<TraceRecord> drain() {
-    std::vector<TraceRecord> out = snapshot();
-    clear();
+    std::vector<TraceRecord> out;
+    out.reserve(capacity_);
+    std::swap(out, records_);
+    const size_t head = next_;
+    const bool wrapped = wrapped_;
+    next_ = 0;
+    wrapped_ = false;
+    if (wrapped) {
+      std::rotate(out.begin(), out.begin() + static_cast<long>(head),
+                  out.end());
+    }
     return out;
   }
 

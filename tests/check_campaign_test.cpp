@@ -1,0 +1,338 @@
+// The fast fault-injection campaign: every scenario in the catalogue,
+// single-ring and K=4 multi-ring, driven across many seeds with the safety
+// oracles attached. Also proves the oracles have teeth: hand-crafted bad
+// histories trip each check, and a deliberately injected merge-ordering
+// mutation is caught and shrunk to a minimal schedule.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/campaign.hpp"
+#include "check/oracle.hpp"
+#include "check/schedule.hpp"
+
+namespace accelring::check {
+namespace {
+
+protocol::Delivery make_delivery(protocol::RingId ring, protocol::SeqNum seq,
+                                 protocol::ProcessId sender,
+                                 std::byte tag = std::byte{0}) {
+  protocol::Delivery d;
+  d.ring_id = ring;
+  d.seq = seq;
+  d.sender = sender;
+  d.payload = {tag};
+  return d;
+}
+
+protocol::ConfigurationChange regular(protocol::RingId ring,
+                                      std::vector<protocol::ProcessId> members) {
+  protocol::ConfigurationChange c;
+  c.config.ring_id = ring;
+  c.config.members = std::move(members);
+  c.transitional = false;
+  return c;
+}
+
+protocol::ConfigurationChange transitional(
+    protocol::RingId ring, std::vector<protocol::ProcessId> members) {
+  protocol::ConfigurationChange c = regular(ring, std::move(members));
+  c.transitional = true;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle unit checks on hand-crafted histories: each safety property must
+// trip on a history violating exactly it.
+
+TEST(OracleTest, CleanHistoryPasses) {
+  ClusterOracle oracle(2);
+  for (int n = 0; n < 2; ++n) {
+    oracle.on_config(n, regular(100, {0, 1}));
+    oracle.on_deliver(n, make_delivery(100, 1, 0));
+    oracle.on_deliver(n, make_delivery(100, 2, 1));
+    oracle.on_deliver(n, make_delivery(100, 3, 0));
+  }
+  oracle.finalize();
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+  EXPECT_EQ(oracle.observed(), 6u);
+}
+
+TEST(OracleTest, GapInAgreedOrderIsCaught) {
+  ClusterOracle oracle(1);
+  oracle.on_config(0, regular(100, {0}));
+  oracle.on_deliver(0, make_delivery(100, 1, 0));
+  oracle.on_deliver(0, make_delivery(100, 3, 0));  // seq 2 missing
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("gap in agreed order"), std::string::npos)
+      << oracle.report();
+}
+
+TEST(OracleTest, SequenceGoingBackwardsIsCaught) {
+  ClusterOracle oracle(1);
+  oracle.on_config(0, regular(100, {0}));
+  oracle.on_deliver(0, make_delivery(100, 2, 0));
+  oracle.on_deliver(0, make_delivery(100, 1, 0));
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("went backwards"), std::string::npos);
+}
+
+TEST(OracleTest, DuplicateDeliveryIsCaught) {
+  ClusterOracle oracle(1);
+  oracle.on_config(0, regular(100, {0}));
+  oracle.on_deliver(0, make_delivery(100, 1, 0));
+  oracle.on_deliver(0, make_delivery(100, 1, 0));  // same message again
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("duplicate delivery"), std::string::npos);
+}
+
+TEST(OracleTest, PackedMessagesMayShareSeq) {
+  ClusterOracle oracle(1);
+  oracle.on_config(0, regular(100, {0}));
+  oracle.on_deliver(0, make_delivery(100, 1, 0, std::byte{1}));
+  oracle.on_deliver(0, make_delivery(100, 1, 0, std::byte{2}));  // packed
+  oracle.finalize();
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+}
+
+TEST(OracleTest, CrossNodeOrderDisagreementIsCaught) {
+  ClusterOracle oracle(2);
+  for (int n = 0; n < 2; ++n) oracle.on_config(n, regular(100, {0, 1}));
+  oracle.on_deliver(0, make_delivery(100, 1, 0));
+  oracle.on_deliver(0, make_delivery(100, 2, 1));
+  // Node 1 sees different content at the same positions.
+  oracle.on_deliver(1, make_delivery(100, 1, 1));
+  oracle.on_deliver(1, make_delivery(100, 2, 0));
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("different messages"), std::string::npos)
+      << oracle.report();
+}
+
+TEST(OracleTest, DeliveryOutsideConfigurationIsCaught) {
+  ClusterOracle oracle(1);
+  oracle.on_config(0, regular(100, {0}));
+  oracle.on_deliver(0, make_delivery(999, 1, 0));  // ring never installed
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("under configuration"), std::string::npos);
+}
+
+TEST(OracleTest, TransitionalNotSubsetOfOldRegularIsCaught) {
+  ClusterOracle oracle(3);
+  oracle.on_config(2, regular(100, {1, 2}));
+  // Node 0 was never in ring 100, so it cannot survive out of it.
+  oracle.on_config(2, transitional(200, {0, 2}));
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("not a subset"), std::string::npos);
+}
+
+TEST(OracleTest, TransitionalGroupsMustDeliverSameMessages) {
+  ClusterOracle oracle(2);
+  for (int n = 0; n < 2; ++n) {
+    oracle.on_config(n, regular(100, {0, 1}));
+    oracle.on_deliver(n, make_delivery(100, 1, 0));
+    oracle.on_config(n, transitional(200, {0, 1}));
+  }
+  oracle.on_deliver(0, make_delivery(100, 3, 1));  // only node 0 gets seq 3
+  oracle.on_config(0, regular(200, {0, 1}));
+  oracle.on_config(1, regular(200, {0, 1}));
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("transitional configuration"),
+            std::string::npos)
+      << oracle.report();
+}
+
+TEST(OracleTest, RegularMembershipDisagreementIsCaught) {
+  ClusterOracle oracle(2);
+  oracle.on_config(0, regular(100, {0, 1}));
+  oracle.on_config(1, regular(100, {1}));  // same ring id, different members
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("different members"), std::string::npos);
+}
+
+TEST(OracleTest, SelfDeliveryIsRequiredUnlessCrashed) {
+  ClusterOracle oracle(1);
+  oracle.on_config(0, regular(100, {0}));
+  oracle.note_submit(0, 7);  // payload never comes back
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("its own"), std::string::npos);
+
+  ClusterOracle waived(1);
+  waived.on_config(0, regular(100, {0}));
+  waived.note_submit(0, 7);
+  waived.note_crash(0);
+  waived.finalize();
+  EXPECT_TRUE(waived.ok()) << waived.report();
+}
+
+TEST(OracleTest, MergedStreamDivergenceIsCaught) {
+  MergedOracle oracle(2);
+  oracle.on_merged(0, 0, make_delivery(100, 1, 0));
+  oracle.on_merged(0, 1, make_delivery(101, 1, 0));
+  oracle.on_merged(1, 1, make_delivery(101, 1, 0));  // rings swapped
+  oracle.on_merged(1, 0, make_delivery(100, 1, 0));
+  oracle.finalize();
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.report().find("diverge"), std::string::npos);
+}
+
+TEST(OracleTest, MergedPrefixPasses) {
+  MergedOracle oracle(2);
+  oracle.on_merged(0, 0, make_delivery(100, 1, 0));
+  oracle.on_merged(0, 1, make_delivery(101, 1, 0));
+  oracle.on_merged(1, 0, make_delivery(100, 1, 0));  // node 1 lags behind
+  oracle.finalize();
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+}
+
+// ---------------------------------------------------------------------------
+// Schedule DSL.
+
+TEST(ScheduleTest, GeneratorsAreDeterministic) {
+  for (const Scenario& sc : scenarios()) {
+    const Schedule a = sc.make(42, 5, util::msec(250));
+    const Schedule b = sc.make(42, 5, util::msec(250));
+    ASSERT_EQ(a.events.size(), b.events.size()) << sc.name;
+    EXPECT_EQ(describe(a), describe(b)) << sc.name;
+    EXPECT_FALSE(a.events.empty()) << sc.name;
+    for (const FaultEvent& e : a.events) {
+      EXPECT_GE(e.at, 0) << sc.name;
+      EXPECT_LE(e.at, util::msec(250)) << sc.name;
+    }
+  }
+}
+
+TEST(ScheduleTest, ShrinkCandidatesDropOneEventEach) {
+  const Schedule s = find_scenario("mixed")->make(7, 5, util::msec(250));
+  const auto cands = shrink_candidates(s);
+  ASSERT_EQ(cands.size(), s.events.size());
+  for (const Schedule& c : cands) {
+    EXPECT_EQ(c.events.size(), s.events.size() - 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The fast campaign itself: all scenarios, 20 seeds each, single-ring and
+// K=4 multi-ring, zero violations expected.
+
+RunOptions fast_run_options() {
+  RunOptions run;
+  run.nodes = 5;
+  run.horizon = util::msec(250);
+  run.drain = util::msec(300);
+  return run;
+}
+
+TEST(CampaignTest, SingleRingAllScenariosClean) {
+  CampaignOptions opt;
+  opt.run = fast_run_options();
+  opt.seeds_per_scenario = 20;
+  const CampaignResult result = run_campaign(opt);
+  EXPECT_EQ(result.failures, 0);
+  EXPECT_EQ(result.runs,
+            static_cast<int>(scenarios().size()) * opt.seeds_per_scenario);
+  EXPECT_GT(result.delivered, 0u);
+  for (const FailureCase& fc : result.cases) {
+    ADD_FAILURE() << fc.scenario << " seed=" << fc.seed << "\n"
+                  << describe(fc.schedule) << "\n"
+                  << fc.report;
+  }
+}
+
+TEST(CampaignTest, MultiRingScenariosClean) {
+  CampaignOptions opt;
+  opt.run = fast_run_options();
+  opt.run.rings = 4;
+  opt.seeds_per_scenario = 20;
+  const CampaignResult result = run_campaign(opt);
+  EXPECT_EQ(result.failures, 0);
+  int multiring_scenarios = 0;
+  for (const Scenario& sc : scenarios()) {
+    if (sc.multiring_safe) ++multiring_scenarios;
+  }
+  EXPECT_EQ(result.runs, multiring_scenarios * opt.seeds_per_scenario);
+  EXPECT_GT(result.delivered, 0u);
+  for (const FailureCase& fc : result.cases) {
+    ADD_FAILURE() << fc.scenario << " seed=" << fc.seed << "\n"
+                  << describe(fc.schedule) << "\n"
+                  << fc.report;
+  }
+}
+
+// Every seed in tests/seeds/regression.seeds once exposed a real bug; replay
+// the whole corpus against every scenario (no sweep seeds on top).
+TEST(CampaignTest, RegressionSeedCorpusClean) {
+#ifndef ACCELRING_SEED_CORPUS
+  GTEST_SKIP() << "corpus path not configured";
+#else
+  std::vector<uint64_t> corpus;
+  std::ifstream in(ACCELRING_SEED_CORPUS);
+  ASSERT_TRUE(in.is_open()) << ACCELRING_SEED_CORPUS;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    corpus.push_back(std::strtoull(line.c_str() + start, nullptr, 0));
+  }
+  ASSERT_FALSE(corpus.empty());
+
+  CampaignOptions opt;
+  opt.run = fast_run_options();
+  opt.seeds_per_scenario = 0;
+  opt.extra_seeds = corpus;
+  for (int rings : {1, 4}) {
+    opt.run.rings = rings;
+    const CampaignResult result = run_campaign(opt);
+    EXPECT_EQ(result.failures, 0) << "rings=" << rings;
+    for (const FailureCase& fc : result.cases) {
+      ADD_FAILURE() << fc.scenario << " seed=" << fc.seed << " rings=" << rings
+                    << "\n" << describe(fc.schedule) << "\n" << fc.report;
+    }
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Mutation: an injected merge-ordering bug must be caught by the oracles and
+// shrunk to a minimal (<= 5 event) reproducer.
+
+TEST(CampaignTest, InjectedMergeBugIsCaughtAndShrunk) {
+  RunOptions run = fast_run_options();
+  run.rings = 4;
+  run.inject_merge_bug = true;
+
+  const Schedule schedule =
+      find_scenario("loss_bursts")->make(11, run.nodes, run.horizon);
+  const RunResult bad = run_schedule(run, schedule, 11);
+  ASSERT_FALSE(bad.ok) << "mutation not caught by the oracles";
+  EXPECT_NE(bad.report.find("diverge"), std::string::npos) << bad.report;
+
+  const Schedule minimal = shrink(run, schedule, 11);
+  EXPECT_LE(minimal.events.size(), 5u);
+  // The bug is in the merge path, not the schedule: greedy removal should
+  // strip every fault event.
+  EXPECT_EQ(minimal.events.size(), 0u) << describe(minimal);
+  const RunResult still_bad = run_schedule(run, minimal, 11);
+  EXPECT_FALSE(still_bad.ok);
+
+  // Same seed and schedule without the mutation: clean.
+  run.inject_merge_bug = false;
+  const RunResult good = run_schedule(run, schedule, 11);
+  EXPECT_TRUE(good.ok) << good.report;
+}
+
+}  // namespace
+}  // namespace accelring::check

@@ -1,0 +1,154 @@
+// Membership torture: token loss storms striking *during* view changes,
+// combined with a crash and a cold restart, across several seeds. The
+// ClusterOracle asserts the full Extended Virtual Synchrony contract on
+// every run; the test additionally demands that the survivors converge on
+// one final ring containing everyone alive.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "check/oracle.hpp"
+#include "harness/cluster.hpp"
+#include "util/bytes.hpp"
+
+namespace accelring::membership {
+namespace {
+
+using harness::SimCluster;
+
+protocol::ProtocolConfig fast_cfg() {
+  protocol::ProtocolConfig cfg;
+  cfg.token_loss_timeout = util::msec(30);
+  cfg.join_timeout = util::msec(5);
+  cfg.consensus_timeout = util::msec(60);
+  return cfg;
+}
+
+std::vector<std::byte> app_payload(uint32_t index) {
+  util::Writer w(48);
+  w.u8(0x7F);
+  w.u32(index);
+  std::vector<std::byte> out = std::move(w).take();
+  out.resize(48);
+  return out;
+}
+
+TEST(MembershipTorture, LossDuringViewChangeWithCrashAndRestart) {
+  constexpr int kNodes = 5;
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    SimCluster cluster(kNodes, simnet::FabricParams::one_gig(), fast_cfg(),
+                       harness::ImplProfile::kLibrary, seed);
+    check::ClusterOracle oracle(kNodes);
+    oracle.attach(cluster);
+
+    // Track every node's last regular configuration for the convergence
+    // assertion at the end.
+    std::map<int, protocol::RingConfig> final_config;
+    cluster.add_on_config(
+        [&final_config](int node, const protocol::ConfigurationChange& c) {
+          if (!c.transitional) final_config[node] = c.config;
+        });
+
+    cluster.start_static();
+
+    // Background traffic from every node throughout the torture.
+    for (uint32_t i = 0; i < 120; ++i) {
+      cluster.eq().schedule(util::msec(5) + i * util::msec(2),
+                            [&cluster, i] {
+        const int node = static_cast<int>(i % kNodes);
+        if (!cluster.net().host_down(node)) {
+          cluster.submit(node, protocol::Service::kAgreed, app_payload(i));
+        }
+      });
+    }
+
+    // Crash node 4 -> the survivors start a view change; 10 ms into it a
+    // loss storm eats their tokens and joins, forcing repeated gathers.
+    cluster.eq().schedule(util::msec(30), [&cluster, &oracle] {
+      cluster.crash_node(4);
+      oracle.note_crash(4);
+    });
+    cluster.eq().schedule(util::msec(40),
+                          [&cluster] { cluster.net().set_loss_rate(0.4); });
+    cluster.eq().schedule(util::msec(110),
+                          [&cluster] { cluster.net().set_loss_rate(0.0); });
+
+    // Cold-restart node 4 mid-run; a second storm strikes while its rejoin
+    // view change is in progress.
+    cluster.eq().schedule(util::msec(180), [&cluster, &oracle] {
+      cluster.restart_node(4);
+      oracle.note_restart(4);
+    });
+    cluster.eq().schedule(util::msec(190),
+                          [&cluster] { cluster.net().set_loss_rate(0.35); });
+    cluster.eq().schedule(util::msec(260),
+                          [&cluster] { cluster.net().set_loss_rate(0.0); });
+
+    cluster.run_until(util::sec(3));
+
+    // Safety: the oracle saw every delivery and configuration change.
+    const harness::ClusterStats stats = cluster.stats();
+    oracle.finalize(&stats);
+    EXPECT_TRUE(oracle.ok()) << oracle.report();
+    EXPECT_GT(oracle.observed(), 0u);
+
+    // Liveness: everyone (including the restarted node) ends on the same
+    // regular ring containing all five processes.
+    ASSERT_EQ(final_config.size(), static_cast<size_t>(kNodes));
+    const protocol::RingConfig& ref = final_config[0];
+    EXPECT_EQ(ref.members.size(), static_cast<size_t>(kNodes));
+    for (const auto& [node, cfg] : final_config) {
+      EXPECT_EQ(cfg.ring_id, ref.ring_id) << "node " << node;
+      EXPECT_EQ(cfg.members, ref.members) << "node " << node;
+    }
+  }
+}
+
+TEST(MembershipTorture, RepeatedStormsNeverWedgeTheRing) {
+  // Four consecutive loss storms, each timed to overlap the reformation the
+  // previous one caused. The ring must be operational (and consistent)
+  // after the dust settles every time.
+  constexpr int kNodes = 4;
+  SimCluster cluster(kNodes, simnet::FabricParams::one_gig(), fast_cfg(),
+                     harness::ImplProfile::kLibrary, 77);
+  check::ClusterOracle oracle(kNodes);
+  oracle.attach(cluster);
+  std::map<int, protocol::RingConfig> final_config;
+  cluster.add_on_config(
+      [&final_config](int node, const protocol::ConfigurationChange& c) {
+        if (!c.transitional) final_config[node] = c.config;
+      });
+  cluster.start_static();
+
+  for (uint32_t i = 0; i < 150; ++i) {
+    cluster.eq().schedule(util::msec(5) + i * util::msec(3), [&cluster, i] {
+      cluster.submit(static_cast<int>(i % kNodes), protocol::Service::kAgreed,
+                     app_payload(1000 + i));
+    });
+  }
+  // Storm k hits at 40 + 90k ms for 50 ms: long enough to outlast the token
+  // loss timeout (30 ms), so each storm triggers a reformation and then
+  // keeps interfering with it.
+  for (int k = 0; k < 4; ++k) {
+    cluster.eq().schedule(util::msec(40 + 90 * k),
+                          [&cluster] { cluster.net().set_loss_rate(0.6); });
+    cluster.eq().schedule(util::msec(90 + 90 * k),
+                          [&cluster] { cluster.net().set_loss_rate(0.0); });
+  }
+  cluster.run_until(util::sec(3));
+
+  const harness::ClusterStats stats = cluster.stats();
+  oracle.finalize(&stats);
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+
+  ASSERT_EQ(final_config.size(), static_cast<size_t>(kNodes));
+  const protocol::RingConfig& ref = final_config[0];
+  EXPECT_EQ(ref.members.size(), static_cast<size_t>(kNodes));
+  for (const auto& [node, cfg] : final_config) {
+    EXPECT_EQ(cfg.ring_id, ref.ring_id) << "node " << node;
+  }
+}
+
+}  // namespace
+}  // namespace accelring::membership

@@ -42,6 +42,64 @@ TEST(Tracer, ClearResets) {
   EXPECT_EQ(tracer.total_recorded(), 0u);
 }
 
+TEST(Tracer, DrainReturnsChronologicalOrderAndEmptiesTheBuffer) {
+  Tracer tracer(4);
+  for (int i = 0; i < 6; ++i) {
+    tracer.record(i, TraceEvent::kDeliver, i);  // wraps: 2..5 survive
+  }
+  const auto records = tracer.drain();
+  ASSERT_EQ(records.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(records[i].a, i + 2);
+  EXPECT_TRUE(tracer.drain().empty());
+  // total_recorded is cumulative across drains.
+  EXPECT_EQ(tracer.total_recorded(), 6u);
+  tracer.record(99, TraceEvent::kDeliver, 99);
+  EXPECT_EQ(tracer.total_recorded(), 7u);
+}
+
+TEST(Tracer, RecordsDuringDrainIterationSurviveToTheNextDrain) {
+  // Regression: drain() used to clear the buffer after handing out the
+  // records, so a consumer whose processing re-entrantly recorded new
+  // events (an oracle tracing its own checks) had them destroyed. The
+  // buffer must be detached *before* the records are returned.
+  Tracer tracer(8);
+  for (int i = 0; i < 3; ++i) tracer.record(i, TraceEvent::kDeliver, i);
+  const auto first = tracer.drain();
+  ASSERT_EQ(first.size(), 3u);
+  for (const auto& r : first) {
+    // Consumer reacts to each drained record by recording a new one.
+    tracer.record(100 + r.a, TraceEvent::kRtrAdd, 100 + r.a);
+  }
+  const auto second = tracer.drain();
+  ASSERT_EQ(second.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(second[static_cast<size_t>(i)].event, TraceEvent::kRtrAdd);
+    EXPECT_EQ(second[static_cast<size_t>(i)].a, 100 + i);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 6u);
+}
+
+TEST(Tracer, DrainAfterWrapWithReentrantRecords) {
+  // Wraparound plus re-entrant recording: the rotate happens on the
+  // detached buffer, so the re-entrant record starts a fresh unwrapped one.
+  Tracer tracer(3);
+  for (int i = 0; i < 5; ++i) tracer.record(i, TraceEvent::kDeliver, i);
+  std::vector<util::TraceRecord> drained;
+  for (const auto& r : tracer.drain()) {
+    drained.push_back(r);
+    tracer.record(r.at, TraceEvent::kDataRx, r.a);
+  }
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained.front().a, 2);
+  EXPECT_EQ(drained.back().a, 4);
+  const auto echoed = tracer.drain();
+  ASSERT_EQ(echoed.size(), 3u);
+  for (size_t i = 0; i < echoed.size(); ++i) {
+    EXPECT_EQ(echoed[i].event, TraceEvent::kDataRx);
+    EXPECT_EQ(echoed[i].a, drained[i].a);
+  }
+}
+
 }  // namespace
 }  // namespace accelring::util
 
