@@ -67,9 +67,9 @@ std::vector<std::byte> set_cmd(const std::string& key,
 int main() {
   const int kNodes = 4;
   protocol::ProtocolConfig cfg;
-  cfg.token_loss_timeout = util::msec(30);
-  cfg.join_timeout = util::msec(5);
-  cfg.consensus_timeout = util::msec(60);
+  cfg.timeouts.token_loss = util::msec(30);
+  cfg.timeouts.join = util::msec(5);
+  cfg.timeouts.consensus = util::msec(60);
   harness::SimCluster cluster(kNodes, simnet::FabricParams::one_gig(), cfg,
                               harness::ImplProfile::kLibrary, 2026);
 

@@ -19,9 +19,9 @@ using namespace accelring;
 int main() {
   const int kNodes = 6;
   protocol::ProtocolConfig config;
-  config.token_loss_timeout = util::msec(30);
-  config.join_timeout = util::msec(5);
-  config.consensus_timeout = util::msec(60);
+  config.timeouts.token_loss = util::msec(30);
+  config.timeouts.join = util::msec(5);
+  config.timeouts.consensus = util::msec(60);
   harness::SimCluster cluster(kNodes, simnet::FabricParams::one_gig(), config,
                               harness::ImplProfile::kLibrary, /*seed=*/99);
 

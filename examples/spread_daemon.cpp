@@ -18,8 +18,11 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <string>
+
 #include "daemon/config_file.hpp"
 #include "daemon/ipc_server.hpp"
+#include "membership/epoch_store.hpp"
 #include "membership/membership.hpp"
 #include "transport/udp_transport.hpp"
 
@@ -51,6 +54,10 @@ int main(int argc, char** argv) {
   transport::EventLoop loop;
   transport::UdpTransport transport(pid, config->peers, loop);
   protocol::Engine engine(pid, config->proto, transport);
+  // Durable epoch counter next to the IPC socket: a cold-restarted daemon
+  // must never mint a ring id it used in a previous incarnation.
+  membership::FileEpochStore epochs(std::string(argv[3]) + ".epoch");
+  engine.set_epoch_store(&epochs);
   transport.bind(engine);
   daemon::Daemon daemon(pid, engine);
   transport.set_deliver([&daemon](const protocol::Delivery& d) {

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   }
 
   protocol::ProtocolConfig config;
-  config.token_retransmit_timeout = util::msec(20);
+  config.timeouts.token_retransmit = util::msec(20);
   for (int i = 0; i < kNodes; ++i) {
     nodes[i].transport = std::make_unique<transport::UdpTransport>(
         static_cast<protocol::ProcessId>(i), peers, loop);

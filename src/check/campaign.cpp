@@ -1,9 +1,12 @@
 #include "check/campaign.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <set>
 
+#include "check/client_fleet.hpp"
 #include "harness/workload.hpp"
 #include "multiring/ring_set.hpp"
 #include "util/rng.hpp"
@@ -55,10 +58,52 @@ void arm_workload(simnet::EventQueue& eq, const RunOptions& opt,
 
 RunResult run_single(const RunOptions& opt, const Schedule& schedule,
                      uint64_t seed) {
-  harness::SimCluster cluster(opt.nodes, opt.fabric, opt.proto, opt.profile,
-                              seed);
-  ClusterOracle oracle(opt.nodes);
+  const Scenario* sc = find_scenario(schedule.scenario);
+  const bool with_clients = sc != nullptr && sc->client_level;
+  RunOptions ropt = opt;
+  if (with_clients) {
+    // A client run must be able to overload its daemons within one burst:
+    // clamp the engine queue so sends actually cross the high-water line.
+    ropt.proto.max_pending = std::min<size_t>(ropt.proto.max_pending, 384);
+  }
+  harness::SimCluster cluster(ropt.nodes, ropt.fabric, ropt.proto,
+                              ropt.profile, seed);
+  ClusterOracle oracle(ropt.nodes);
   oracle.attach(cluster);
+
+  // False-ejection audit (see RunResult::false_ejections): only meaningful
+  // when no fault in the schedule justifies removing a node.
+  bool ejection_justified = false;
+  for (const FaultEvent& e : schedule.events) {
+    ejection_justified = ejection_justified ||
+                         e.kind == FaultKind::kPartition ||
+                         e.kind == FaultKind::kCrash ||
+                         e.kind == FaultKind::kRestart;
+  }
+  auto ejected = std::make_shared<std::set<uint64_t>>();
+  if (!ejection_justified) {
+    cluster.add_on_config([&cluster, ejected, nodes = ropt.nodes](
+                              int, const protocol::ConfigurationChange& c) {
+      if (c.transitional) return;
+      for (int n = 0; n < nodes; ++n) {
+        if (cluster.net().host_down(n)) continue;
+        const auto pid = static_cast<protocol::ProcessId>(n);
+        bool member = false;
+        for (const auto m : c.config.members) member = member || m == pid;
+        if (!member) ejected->insert(c.config.ring_id);
+      }
+    });
+  }
+
+  std::unique_ptr<ClientFleet> fleet;
+  if (with_clients) {
+    FleetOptions fopt;
+    fopt.daemon.session_queue_limit = 48;
+    fopt.seed = seed;
+    fleet = std::make_unique<ClientFleet>(cluster, fopt);
+  }
+  ClientFleet* fleetp = fleet.get();
+
   cluster.start_static();
 
   auto fault = std::make_shared<FaultState>();
@@ -66,7 +111,7 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
 
   simnet::EventQueue& eq = cluster.eq();
   for (const FaultEvent& e : schedule.events) {
-    eq.schedule_after(e.at, [&cluster, &oracle, fault, e] {
+    eq.schedule_after(e.at, [&cluster, &oracle, fault, fleetp, e] {
       simnet::Network& net = cluster.net();
       switch (e.kind) {
         case FaultKind::kLossBurst:
@@ -87,6 +132,7 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
           if (!net.host_down(e.node)) {
             cluster.crash_node(e.node);
             oracle.note_crash(e.node);
+            if (fleetp != nullptr) fleetp->on_crash(e.node);
           }
           break;
         case FaultKind::kRestart:
@@ -95,31 +141,46 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
           if (net.host_down(e.node)) {
             cluster.restart_node(e.node);
             oracle.note_restart(e.node);
+            if (fleetp != nullptr) fleetp->on_restart(e.node);
           }
+          break;
+        case FaultKind::kLatencyShift:
+          net.set_extra_latency(e.extra_latency);
+          cluster.eq().schedule_after(e.duration,
+                                      [&net] { net.set_extra_latency(0); });
+          break;
+        case FaultKind::kOverload:
+          if (fleetp != nullptr) fleetp->burst(e.node, e.count);
           break;
       }
     });
   }
 
-  arm_workload(eq, opt, [&cluster, &oracle, &opt](int node, uint32_t index) {
-    if (cluster.net().host_down(node)) return;
-    oracle.note_submit(node, index);
-    harness::PayloadStamp stamp;
-    stamp.inject_time = cluster.eq().now();
-    stamp.sender = static_cast<uint32_t>(node);
-    stamp.index = index;
-    cluster.submit(node, pick_service(index),
-                   harness::make_payload(opt.payload_size, stamp));
-  });
+  if (with_clients) {
+    fleet->start(ropt.horizon);
+  } else {
+    arm_workload(eq, ropt,
+                 [&cluster, &oracle, &ropt](int node, uint32_t index) {
+      if (cluster.net().host_down(node)) return;
+      oracle.note_submit(node, index);
+      harness::PayloadStamp stamp;
+      stamp.inject_time = cluster.eq().now();
+      stamp.sender = static_cast<uint32_t>(node);
+      stamp.index = index;
+      cluster.submit(node, pick_service(index),
+                     harness::make_payload(ropt.payload_size, stamp));
+    });
+  }
 
   // Heal everything at the horizon so the drain can converge.
-  eq.schedule_after(opt.horizon, [&cluster, fault] {
+  eq.schedule_after(ropt.horizon, [&cluster, fault] {
     cluster.net().heal();
     cluster.net().set_loss_rate(0);
+    cluster.net().set_extra_latency(0);
     fault->token_drops_pending = 0;
   });
 
-  cluster.run_until(opt.horizon + opt.drain);
+  cluster.run_until(ropt.horizon + ropt.drain);
 
   const harness::ClusterStats stats = cluster.stats();
   oracle.finalize(&stats);
@@ -128,7 +189,15 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
   res.ok = oracle.ok();
   res.violations = oracle.violations();
   res.delivered = oracle.observed();
-  res.report = oracle.report();
+  res.false_ejections = ejected->size();
+  if (fleet) {
+    const FleetReport fr = fleet->finalize();
+    res.client_delivered = fr.delivered;
+    res.ok = res.ok && fr.ok;
+    for (const Violation& v : fr.violations) res.violations.push_back(v);
+  }
+  const std::vector<const std::vector<Violation>*> lists = {&res.violations};
+  res.report = join_reports(lists);
   return res;
 }
 
@@ -222,6 +291,19 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
           // stream would legitimately hold gaps (messages delivered while
           // it was down), which the merged-prefix oracle must not excuse.
           break;
+        case FaultKind::kLatencyShift:
+          for (int r = 0; r < rings.num_rings(); ++r) {
+            rings.ring(r).net().set_extra_latency(e.extra_latency);
+          }
+          eq.schedule_after(e.duration, [&rings] {
+            for (int r = 0; r < rings.num_rings(); ++r) {
+              rings.ring(r).net().set_extra_latency(0);
+            }
+          });
+          break;
+        case FaultKind::kOverload:
+          // Client-level fault; client scenarios are single-ring only.
+          break;
       }
     });
   }
@@ -242,6 +324,7 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
     for (int r = 0; r < rings.num_rings(); ++r) {
       rings.ring(r).net().heal();
       rings.ring(r).net().set_loss_rate(0);
+      rings.ring(r).net().set_extra_latency(0);
     }
     fault->token_drops_pending = 0;
   });
@@ -271,9 +354,9 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
 
 protocol::ProtocolConfig fast_proto_config() {
   protocol::ProtocolConfig cfg;
-  cfg.token_loss_timeout = util::msec(30);
-  cfg.join_timeout = util::msec(5);
-  cfg.consensus_timeout = util::msec(60);
+  cfg.timeouts.token_loss = util::msec(30);
+  cfg.timeouts.join = util::msec(5);
+  cfg.timeouts.consensus = util::msec(60);
   return cfg;
 }
 
@@ -329,6 +412,7 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
       const RunResult run = run_schedule(opt.run, schedule, seed);
       ++result.runs;
       result.delivered += run.delivered;
+      result.false_ejections += run.false_ejections;
       if (run.ok) continue;
 
       ++result.failures;

@@ -48,6 +48,12 @@ struct RunResult {
   bool ok = false;
   std::vector<Violation> violations;
   uint64_t delivered = 0;  ///< deliveries the oracles observed
+  /// Distinct regular configurations that excluded a live node, counted only
+  /// when the schedule held no partition/crash/restart (then no ejection is
+  /// justified). Not a safety violation — EVS permits spurious view changes —
+  /// but the liveness regression adaptive timeouts exist to prevent.
+  uint64_t false_ejections = 0;
+  uint64_t client_delivered = 0;  ///< client-level runs: app deliveries
   std::string report;      ///< violations joined, "" when ok
 };
 
@@ -83,6 +89,7 @@ struct CampaignResult {
   int runs = 0;
   int failures = 0;
   uint64_t delivered = 0;            ///< across all runs
+  uint64_t false_ejections = 0;      ///< across all runs (see RunResult)
   std::vector<FailureCase> cases;    ///< detail for the first failures
   [[nodiscard]] bool ok() const { return failures == 0; }
 };

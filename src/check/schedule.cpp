@@ -126,6 +126,59 @@ Schedule crash_restart(uint64_t seed, int nodes, Nanos horizon) {
   return s;
 }
 
+Schedule latency_shift(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"latency_shift", {}};
+  const int shifts = static_cast<int>(rng.range(1, 2));
+  for (int i = 0; i < shifts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLatencyShift;
+    e.at = fault_time(rng, horizon);
+    e.extra_latency = util::msec(rng.range(1, 8));
+    e.duration = util::msec(rng.range(20, 60));
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
+Schedule overload(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"overload", {}};
+  const int bursts = static_cast<int>(rng.range(1, 3));
+  for (int i = 0; i < bursts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kOverload;
+    e.at = fault_time(rng, horizon);
+    e.node = static_cast<int>(rng.range(0, nodes - 1));
+    e.count = static_cast<uint32_t>(rng.range(200, 600));
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
+Schedule reconnect_storm(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"reconnect_storm", {}};
+  // Any node may be the victim, node 0 included: the persisted epoch store
+  // guarantees a cold restart never recreates a ring id, so the oracles'
+  // strict cross-node checks hold even for the static-start creator.
+  const int victims = static_cast<int>(rng.range(1, 2));
+  for (int i = 0; i < victims; ++i) {
+    FaultEvent down;
+    down.kind = FaultKind::kCrash;
+    down.at = fault_time(rng, horizon);
+    down.node = static_cast<int>(rng.range(0, nodes - 1));
+    FaultEvent up;
+    up.kind = FaultKind::kRestart;
+    up.node = down.node;
+    up.at = std::min<Nanos>(down.at + util::msec(rng.range(20, 60)), horizon);
+    s.events.push_back(std::move(down));
+    s.events.push_back(std::move(up));
+  }
+  return s;
+}
+
 Schedule mixed(uint64_t seed, int nodes, Nanos horizon) {
   Rng rng(seed);
   Schedule s{"mixed", {}};
@@ -180,6 +233,10 @@ const char* fault_name(FaultKind kind) {
       return "crash";
     case FaultKind::kRestart:
       return "restart";
+    case FaultKind::kLatencyShift:
+      return "latency_shift";
+    case FaultKind::kOverload:
+      return "overload";
   }
   return "?";
 }
@@ -210,6 +267,13 @@ std::string describe(const FaultEvent& event) {
     case FaultKind::kRestart:
       os << " node=" << event.node;
       break;
+    case FaultKind::kLatencyShift:
+      os << " extra=" << util::to_msec(event.extra_latency) << "ms for "
+         << util::to_msec(event.duration) << "ms";
+      break;
+    case FaultKind::kOverload:
+      os << " node=" << event.node << " count=" << event.count;
+      break;
   }
   return os.str();
 }
@@ -234,6 +298,11 @@ const std::vector<Scenario>& scenarios() {
       {"crash", crash, true},
       {"crash_restart", crash_restart, false},
       {"mixed", mixed, false},
+      // Appended after the original seven so the (seed, scenario index)
+      // schedule derivation of the regression corpus stays stable.
+      {"latency_shift", latency_shift, true},
+      {"overload", overload, false, /*client_level=*/true},
+      {"reconnect_storm", reconnect_storm, false, /*client_level=*/true},
   };
   return kScenarios;
 }

@@ -21,12 +21,14 @@ namespace accelring::check {
 using util::Nanos;
 
 enum class FaultKind : uint8_t {
-  kLossBurst,  ///< random loss at `rate` for `duration`
-  kTokenDrop,  ///< absorb the next `count` token-socket datagrams
-  kPartition,  ///< move `group` into their own partition
-  kHeal,       ///< put every host back into one partition
-  kCrash,      ///< take `node` down
-  kRestart,    ///< cold-restart `node` (no-op unless it is down)
+  kLossBurst,     ///< random loss at `rate` for `duration`
+  kTokenDrop,     ///< absorb the next `count` token-socket datagrams
+  kPartition,     ///< move `group` into their own partition
+  kHeal,          ///< put every host back into one partition
+  kCrash,         ///< take `node` down
+  kRestart,       ///< cold-restart `node` (no-op unless it is down)
+  kLatencyShift,  ///< add `extra_latency` to every delivery for `duration`
+  kOverload,      ///< client fleet: `count` extra sends burst from `node`
 };
 
 [[nodiscard]] const char* fault_name(FaultKind kind);
@@ -37,7 +39,8 @@ struct FaultEvent {
   int node = -1;           ///< crash / restart victim
   double rate = 0;         ///< loss probability during a burst
   Nanos duration = 0;      ///< loss-burst length
-  uint32_t count = 0;      ///< token datagrams to absorb
+  uint32_t count = 0;      ///< token datagrams to absorb / burst sends
+  Nanos extra_latency = 0; ///< added delivery latency during a shift
   std::vector<int> group;  ///< partition members split off
 };
 
@@ -59,6 +62,9 @@ struct Scenario {
   /// Safe to run against a multi-ring set: faults that may legitimately
   /// split the merged total order (partitions) are excluded there.
   bool multiring_safe;
+  /// Runs with a ClientFleet (daemons + failover clients driving the
+  /// workload) instead of direct engine submits. Single-ring only.
+  bool client_level = false;
 };
 
 /// The scenario catalogue, in campaign order.

@@ -47,21 +47,23 @@ bool apply_option(const std::string& key, uint64_t value,
   } else if (key == "max_pending") {
     proto.max_pending = value;
   } else if (key == "token_retransmit_timeout_ms") {
-    proto.token_retransmit_timeout = util::msec(static_cast<int64_t>(value));
+    proto.timeouts.token_retransmit = util::msec(static_cast<int64_t>(value));
   } else if (key == "token_loss_timeout_ms") {
-    proto.token_loss_timeout = util::msec(static_cast<int64_t>(value));
+    proto.timeouts.token_loss = util::msec(static_cast<int64_t>(value));
   } else if (key == "join_timeout_ms") {
-    proto.join_timeout = util::msec(static_cast<int64_t>(value));
+    proto.timeouts.join = util::msec(static_cast<int64_t>(value));
   } else if (key == "consensus_timeout_ms") {
-    proto.consensus_timeout = util::msec(static_cast<int64_t>(value));
+    proto.timeouts.consensus = util::msec(static_cast<int64_t>(value));
   } else if (key == "idle_token_hold_us") {
-    proto.idle_token_hold = util::usec(static_cast<int64_t>(value));
+    proto.timeouts.idle_token_hold = util::usec(static_cast<int64_t>(value));
   } else if (key == "packing") {
     proto.enable_packing = value != 0;
   } else if (key == "packing_budget") {
     proto.packing_budget = value;
   } else if (key == "auto_tune") {
     proto.auto_tune = value != 0;
+  } else if (key == "adaptive_timeouts") {
+    proto.adaptive_timeouts = value != 0;
   } else {
     return false;
   }

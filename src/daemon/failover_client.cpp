@@ -1,0 +1,184 @@
+#include "daemon/failover_client.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace accelring::daemon {
+
+namespace {
+constexpr const char* kTag = "failover";
+/// Distinguishes session frames from unframed payloads of plain clients.
+constexpr uint32_t kFrameMagic = 0x53455346;  // "SESF"
+/// Retry cadence while the daemon sheds our outbox flush.
+constexpr util::Nanos kFlushRetry = util::msec(2);
+}  // namespace
+
+std::vector<std::byte> encode_session_frame(
+    uint64_t uuid, uint64_t seq, std::span<const std::byte> payload) {
+  util::Writer w(20 + payload.size());
+  w.u32(kFrameMagic);
+  w.u64(uuid);
+  w.u64(seq);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+std::optional<SessionFrame> decode_session_frame(
+    std::span<const std::byte> frame) {
+  util::Reader r(frame);
+  if (r.u32() != kFrameMagic) return std::nullopt;
+  SessionFrame out;
+  out.uuid = r.u64();
+  out.seq = r.u64();
+  if (!r.ok()) return std::nullopt;
+  out.payload = r.raw(r.remaining());
+  return out;
+}
+
+bool DuplicateFilter::seen(uint64_t uuid, uint64_t seq) {
+  PerUuid& state = per_uuid_[uuid];
+  if (seq <= state.floor || state.above.contains(seq)) {
+    ++suppressed_;
+    return true;
+  }
+  state.above.insert(seq);
+  // Advance the contiguous floor through the sparse set.
+  auto it = state.above.begin();
+  while (it != state.above.end() && *it == state.floor + 1) {
+    ++state.floor;
+    it = state.above.erase(it);
+  }
+  return false;
+}
+
+FailoverClient::FailoverClient(DaemonFn daemon, ScheduleFn schedule,
+                               std::string name, uint64_t uuid,
+                               util::Backoff backoff, MessageFn on_message,
+                               MembershipFn on_membership)
+    : daemon_(std::move(daemon)),
+      schedule_(std::move(schedule)),
+      name_(std::move(name)),
+      uuid_(uuid),
+      backoff_(backoff),
+      on_message_(std::move(on_message)),
+      on_membership_(std::move(on_membership)) {}
+
+void FailoverClient::connect() { try_connect(); }
+
+void FailoverClient::notify_disconnect() {
+  if (session_ != 0) {
+    ACCELRING_LOG_INFO(kTag, "%s: session %u lost, %zu unacked",
+                       name_.c_str(), unsigned{session_}, outbox_.size());
+  }
+  session_ = 0;
+  slowed_ = false;
+  // Everything in flight rode the dead session: it must be resent on the
+  // next one (receivers' duplicate filters absorb any that did make it).
+  for (Unacked& entry : outbox_) entry.in_flight = false;
+  schedule_reconnect();
+}
+
+void FailoverClient::schedule_reconnect() {
+  if (reconnect_pending_) return;
+  reconnect_pending_ = true;
+  schedule_(backoff_.next(), [this] {
+    reconnect_pending_ = false;
+    try_connect();
+  });
+}
+
+void FailoverClient::try_connect() {
+  if (session_ != 0) return;
+  Daemon* daemon = daemon_();
+  if (daemon == nullptr) {
+    schedule_reconnect();
+    return;
+  }
+  Session session;
+  session.name = name_;
+  session.on_message = [this](const std::string& group,
+                              const std::string& sender, Service service,
+                              std::span<const std::byte> payload) {
+    on_daemon_message(group, sender, service, payload);
+  };
+  session.on_flow = [this](bool slowed) { slowed_ = slowed; };
+  session.on_membership = [this](const protocol::ConfigurationChange& c) {
+    if (on_membership_) on_membership_(c);
+  };
+  session_ = daemon->connect(std::move(session));
+  backoff_.reset();
+  ++stats_.reconnects;
+  for (const std::string& group : joined_) daemon->join(session_, group);
+  if (!outbox_.empty()) {
+    stats_.resends += outbox_.size();
+    flush_outbox();
+  }
+}
+
+bool FailoverClient::join(const std::string& group) {
+  joined_.insert(group);
+  if (session_ == 0) return true;  // joined on reconnect
+  Daemon* daemon = daemon_();
+  if (daemon == nullptr) return true;
+  return daemon->join(session_, group);
+}
+
+bool FailoverClient::send(const std::string& group, Service service,
+                          std::span<const std::byte> payload) {
+  if (outbox_.size() >= kOutboxLimit) return false;
+  Unacked entry;
+  entry.seq = next_seq_++;
+  entry.group = group;
+  entry.service = service;
+  entry.frame = encode_session_frame(uuid_, entry.seq, payload);
+  outbox_.push_back(std::move(entry));
+  if (session_ != 0) flush_outbox();
+  return true;
+}
+
+void FailoverClient::flush_outbox() {
+  Daemon* daemon = session_ != 0 ? daemon_() : nullptr;
+  if (daemon == nullptr) return;
+  for (Unacked& entry : outbox_) {
+    if (entry.in_flight) continue;
+    if (!daemon->send(session_, {entry.group}, entry.service, entry.frame)) {
+      // Shed by daemon backpressure: retry on a timer (SLOWDOWN/RESUME is
+      // advisory; the retry loop is what guarantees eventual submission).
+      ++stats_.rejected_sends;
+      schedule_(kFlushRetry, [this] { flush_outbox(); });
+      return;
+    }
+    entry.in_flight = true;
+  }
+}
+
+void FailoverClient::on_daemon_message(const std::string& group,
+                                       const std::string& sender,
+                                       Service service,
+                                       std::span<const std::byte> payload) {
+  const auto frame = decode_session_frame(payload);
+  if (!frame) {
+    // Unframed traffic from a plain client: pass through untouched.
+    if (on_message_) on_message_(group, sender, service, payload);
+    return;
+  }
+  if (frame->uuid == uuid_) {
+    // Our own send came back through the total order: that is its ack.
+    const auto it = std::find_if(
+        outbox_.begin(), outbox_.end(),
+        [&](const Unacked& e) { return e.seq == frame->seq; });
+    if (it != outbox_.end()) {
+      ++stats_.acked;
+      outbox_.erase(it);
+    }
+  }
+  if (dedup_.seen(frame->uuid, frame->seq)) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  if (on_message_) on_message_(group, sender, service, frame->payload);
+}
+
+}  // namespace accelring::daemon

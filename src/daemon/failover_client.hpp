@@ -1,0 +1,160 @@
+// Session failover: a client that survives its daemon's death.
+//
+// The plain daemon::Client is a thin RAII handle — if the daemon restarts,
+// the session and everything in flight is gone. FailoverClient wraps the
+// same surface with the three mechanisms a deployable client library needs
+// (the paper's Spread deployments assume the client library provides them):
+//
+//  * Reconnect with jittered exponential backoff (util::Backoff): on
+//    disconnect the client schedules reconnect attempts through a
+//    caller-supplied timer, so a fleet of clients that lost the same daemon
+//    does not stampede the replacement.
+//  * Session resumption with duplicate suppression: every send is framed
+//    with a stable session uuid and a per-session sequence number, kept in
+//    an outbox until the framed message comes back through the total order
+//    (its ack). On reconnect the outbox is resent — and every receiver
+//    suppresses (uuid, seq) pairs at or below the highest contiguously
+//    delivered seq per uuid, so a message acked-but-unobserved-by-the-sender
+//    is not delivered twice anywhere. Exactly-once delivery per surviving
+//    receiver, at the cost of 16 bytes per message.
+//  * Membership-change delivery: ring configuration changes reach the
+//    application callback, so it can distinguish "my daemon is reachable
+//    but the ring is reforming" from silence.
+//
+// Transport-agnostic: the client reaches its daemon through a DaemonFn
+// (returning nullptr while the daemon is down) and schedules its own timers
+// through a ScheduleFn, so the identical class runs under the discrete-event
+// simulator (src/check/ client fleet) and a real event loop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "daemon/client.hpp"
+#include "daemon/daemon.hpp"
+#include "util/backoff.hpp"
+
+namespace accelring::daemon {
+
+/// [u64 session uuid][u64 seq][payload] — the resumption frame wrapped
+/// around every application payload.
+struct SessionFrame {
+  uint64_t uuid = 0;
+  uint64_t seq = 0;
+  std::span<const std::byte> payload;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_session_frame(
+    uint64_t uuid, uint64_t seq, std::span<const std::byte> payload);
+[[nodiscard]] std::optional<SessionFrame> decode_session_frame(
+    std::span<const std::byte> frame);
+
+/// Suppresses duplicate (uuid, seq) observations across daemon failover:
+/// per uuid, a contiguous floor plus a sparse set of seqs above it.
+class DuplicateFilter {
+ public:
+  /// Returns true when (uuid, seq) was seen before (a duplicate).
+  bool seen(uint64_t uuid, uint64_t seq);
+  [[nodiscard]] uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  struct PerUuid {
+    uint64_t floor = 0;  ///< all seqs <= floor observed (seqs start at 1)
+    std::set<uint64_t> above;
+  };
+  std::map<uint64_t, PerUuid> per_uuid_;
+  uint64_t suppressed_ = 0;
+};
+
+class FailoverClient {
+ public:
+  using MessageFn = Client::MessageFn;
+  using MembershipFn =
+      std::function<void(const protocol::ConfigurationChange&)>;
+  /// The client's window to its local daemon; nullptr while it is down.
+  using DaemonFn = std::function<Daemon*()>;
+  /// Run `fn` after `delay` (simulated or real time).
+  using ScheduleFn = std::function<void(util::Nanos delay,
+                                        std::function<void()> fn)>;
+
+  struct Stats {
+    uint64_t reconnects = 0;   ///< successful (re)connections
+    uint64_t resends = 0;      ///< outbox messages resent after reconnect
+    uint64_t acked = 0;        ///< sends confirmed through the total order
+    uint64_t rejected_sends = 0;  ///< sends shed by daemon backpressure
+    uint64_t duplicates_suppressed = 0;
+  };
+
+  /// `uuid` must be unique across all clients of the deployment and stable
+  /// across this client's own reconnects (it keys duplicate suppression).
+  FailoverClient(DaemonFn daemon, ScheduleFn schedule, std::string name,
+                 uint64_t uuid, util::Backoff backoff,
+                 MessageFn on_message = {}, MembershipFn on_membership = {});
+
+  FailoverClient(const FailoverClient&) = delete;
+  FailoverClient& operator=(const FailoverClient&) = delete;
+
+  /// First connection attempt (immediate); retries follow the backoff.
+  void connect();
+  /// The daemon died (or the IPC broke): drop the session and start the
+  /// reconnect loop. Idempotent; safe to call on every observed failure.
+  void notify_disconnect();
+
+  bool join(const std::string& group);
+  /// Framed, tracked send to one group. Returns false — the message is
+  /// dropped — only when the outbox is full; a send the daemon sheds stays
+  /// in the outbox and is retried, so `true` means at-least-once submission
+  /// (and the receivers' duplicate filter makes it exactly-once).
+  bool send(const std::string& group, Service service,
+            std::span<const std::byte> payload);
+
+  [[nodiscard]] bool connected() const { return session_ != 0; }
+  [[nodiscard]] bool slowed() const { return slowed_; }
+  [[nodiscard]] size_t unacked() const { return outbox_.size(); }
+  [[nodiscard]] uint64_t uuid() const { return uuid_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Unacked {
+    uint64_t seq = 0;
+    std::string group;
+    Service service = Service::kAgreed;
+    std::vector<std::byte> frame;  ///< encoded session frame, ready to send
+    bool in_flight = false;  ///< submitted to the current daemon session
+  };
+
+  void try_connect();
+  void schedule_reconnect();
+  void on_daemon_message(const std::string& group, const std::string& sender,
+                         Service service, std::span<const std::byte> payload);
+  /// Submit every outbox entry not yet in flight on the current session;
+  /// reschedules itself while the daemon sheds.
+  void flush_outbox();
+
+  DaemonFn daemon_;
+  ScheduleFn schedule_;
+  std::string name_;
+  uint64_t uuid_;
+  util::Backoff backoff_;
+  MessageFn on_message_;
+  MembershipFn on_membership_;
+
+  ClientId session_ = 0;  ///< 0 = disconnected
+  bool reconnect_pending_ = false;
+  bool slowed_ = false;
+  uint64_t next_seq_ = 1;
+  std::deque<Unacked> outbox_;
+  std::set<std::string> joined_;
+  DuplicateFilter dedup_;
+  Stats stats_;
+
+  /// Bound on unacked sends while disconnected; beyond it send() sheds.
+  static constexpr size_t kOutboxLimit = 1024;
+};
+
+}  // namespace accelring::daemon

@@ -52,7 +52,7 @@ std::optional<DaemonEvent> decode_event(std::span<const std::byte> frame) {
   util::Reader r(frame);
   DaemonEvent event;
   const uint8_t op = r.u8();
-  if (op < 1 || op > 3) return std::nullopt;
+  if (op < 1 || op > 6) return std::nullopt;
   event.op = static_cast<EventOp>(op);
   event.client = r.u32();
   event.group = r.str();

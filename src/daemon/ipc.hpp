@@ -43,6 +43,9 @@ enum class EventOp : uint8_t {
   kConnected = 1,   ///< session established; `client` carries the new id
   kMessage = 2,     ///< ordered application message
   kView = 3,        ///< group membership view
+  kSlowdown = 4,    ///< backpressure: the daemon is shedding; stop sending
+  kResume = 5,      ///< backpressure lifted: normal sending may resume
+  kMembership = 6,  ///< ring membership changed; view_id carries the ring id
 };
 
 struct DaemonEvent {

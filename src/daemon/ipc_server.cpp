@@ -121,6 +121,23 @@ void IpcServer::on_readable(int fd) {
         for (const auto& m : view.members) ev.members.push_back(m.name);
         send_event(fd, ev);
       };
+      session.on_flow = [this, fd](bool slowed) {
+        DaemonEvent ev;
+        ev.op = slowed ? EventOp::kSlowdown : EventOp::kResume;
+        send_event(fd, ev);
+      };
+      session.on_membership =
+          [this, fd](const protocol::ConfigurationChange& change) {
+            DaemonEvent ev;
+            ev.op = EventOp::kMembership;
+            ev.view_id = change.config.ring_id;
+            ev.service = change.transitional ? Service::kReliable
+                                             : Service::kAgreed;
+            for (const auto member : change.config.members) {
+              ev.members.push_back(std::to_string(member));
+            }
+            send_event(fd, ev);
+          };
       it->second.client = daemon_.connect(std::move(session));
       DaemonEvent ack;
       ack.op = EventOp::kConnected;
@@ -213,6 +230,8 @@ std::vector<DaemonEvent> RemoteClient::poll_events() {
         std::span<const std::byte>(buf, static_cast<size_t>(n)));
     if (!ev) continue;
     if (ev->op == EventOp::kConnected && id_ == 0) id_ = ev->client;
+    if (ev->op == EventOp::kSlowdown) slowed_ = true;
+    if (ev->op == EventOp::kResume) slowed_ = false;
     events.push_back(std::move(*ev));
   }
   return events;

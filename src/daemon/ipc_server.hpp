@@ -74,6 +74,9 @@ class RemoteClient {
   [[nodiscard]] std::vector<DaemonEvent> poll_events();
 
   [[nodiscard]] ClientId id() const { return id_; }
+  /// True between a kSlowdown event and the matching kResume: the daemon
+  /// asked this client to stop sending.
+  [[nodiscard]] bool slowed() const { return slowed_; }
 
  private:
   bool send_request(const ClientRequest& request);
@@ -81,6 +84,7 @@ class RemoteClient {
   int fd_ = -1;
   std::string name_;
   ClientId id_ = 0;
+  bool slowed_ = false;
 };
 
 }  // namespace accelring::daemon

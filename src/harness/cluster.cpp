@@ -75,6 +75,10 @@ void SimCluster::init(int num_nodes) {
   setup_.proc_costs.mtu = fabric_.mtu;
   nodes_.resize(num_nodes);
   restarts_.assign(static_cast<size_t>(num_nodes), 0);
+  epoch_stores_.clear();
+  for (int i = 0; i < num_nodes; ++i) {
+    epoch_stores_.push_back(std::make_unique<membership::MemoryEpochStore>());
+  }
   for (int i = 0; i < num_nodes; ++i) wire_node(i);
 }
 
@@ -92,6 +96,7 @@ void SimCluster::wire_node(int i) {
   // their own via engine(i).set_tracer().
   node.tracer = std::make_unique<util::Tracer>(16384);
   node.engine->set_tracer(node.tracer.get());
+  node.engine->set_epoch_store(epoch_stores_[static_cast<size_t>(i)].get());
   node.host->bind(*node.engine);
   node.process->set_sink(node.host.get());
   net_.attach(i, [proc = node.process.get()](

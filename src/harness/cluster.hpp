@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "membership/epoch_store.hpp"
 #include "protocol/engine.hpp"
 #include "simnet/event_queue.hpp"
 #include "simnet/network.hpp"
@@ -193,6 +194,11 @@ class SimCluster {
   }
   /// Per-node flight recorder (always attached to the node's engine).
   [[nodiscard]] util::Tracer& tracer(int node) { return *nodes_[node].tracer; }
+  /// Per-node "disk": the epoch store that survives restart_node, modelling
+  /// the on-disk epoch file of a real daemon across a cold restart.
+  [[nodiscard]] membership::MemoryEpochStore& epoch_store(int node) {
+    return *epoch_stores_[static_cast<size_t>(node)];
+  }
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] const NodeSetup& setup() const { return setup_; }
   [[nodiscard]] ImplProfile profile() const { return profile_; }
@@ -225,6 +231,9 @@ class SimCluster {
   /// simulator events may still reference their process/host/engine).
   std::vector<SimNode> retired_;
   std::vector<int> restarts_;
+  /// One per node index; deliberately NOT reset by restart_node (it is the
+  /// node's disk, and a cold restart keeps the disk).
+  std::vector<std::unique_ptr<membership::MemoryEpochStore>> epoch_stores_;
   DeliverFn on_deliver_;
   ConfigFn on_config_;
   std::vector<DeliverFn> deliver_observers_;

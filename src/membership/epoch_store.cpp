@@ -1,0 +1,72 @@
+#include "membership/epoch_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace accelring::membership {
+
+namespace {
+constexpr const char* kTag = "epoch_store";
+}
+
+FileEpochStore::FileEpochStore(std::string path) : path_(std::move(path)) {}
+
+uint64_t FileEpochStore::load() {
+  if (loaded_) return cached_;
+  loaded_ = true;
+  cached_ = 0;
+  FILE* f = std::fopen(path_.c_str(), "r");
+  if (f == nullptr) return cached_;  // first boot: no file yet
+  unsigned long long value = 0;
+  if (std::fscanf(f, "%llu", &value) == 1) {
+    cached_ = value;
+  } else {
+    ACCELRING_LOG_WARN(kTag, "garbage in %s, treating as epoch 0",
+                       path_.c_str());
+  }
+  std::fclose(f);
+  return cached_;
+}
+
+void FileEpochStore::store(uint64_t epoch) {
+  if (epoch <= load()) return;
+  cached_ = epoch;
+  // Write-rename so a crash mid-write leaves the old value, never a torn
+  // one; fsync before rename so the rename never outruns the data.
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    ACCELRING_LOG_WARN(kTag, "cannot write %s: %s", tmp.c_str(),
+                       std::strerror(errno));
+    return;
+  }
+  char buf[32];
+  const int len = std::snprintf(buf, sizeof(buf), "%llu\n",
+                                static_cast<unsigned long long>(epoch));
+  ssize_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, buf + written, static_cast<size_t>(len) -
+                                                     static_cast<size_t>(written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    written += n;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  if (written == len) {
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+      ACCELRING_LOG_WARN(kTag, "rename %s failed: %s", tmp.c_str(),
+                         std::strerror(errno));
+    }
+  }
+}
+
+}  // namespace accelring::membership

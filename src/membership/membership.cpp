@@ -18,7 +18,13 @@ std::vector<ProcessId> sorted(const std::set<ProcessId>& s) {
 
 void Membership::adopt_ring(const RingConfig& ring) {
   old_ring_ = ring;
-  max_epoch_seen_ = std::max(max_epoch_seen_, ring_epoch(ring.ring_id));
+  note_epoch(ring_epoch(ring.ring_id));
+}
+
+void Membership::note_epoch(uint64_t epoch) {
+  if (epoch <= max_epoch_seen_) return;
+  max_epoch_seen_ = epoch;
+  if (epoch_store_ != nullptr) epoch_store_->store(epoch);
 }
 
 void Membership::start_discovery() {
@@ -66,9 +72,9 @@ void Membership::enter_gather(bool keep_candidates) {
                 static_cast<int64_t>(candidates_.size()),
                 static_cast<int64_t>(gathers_started_));
   send_join();
-  engine_.host_.set_timer(protocol::kTimerJoin, engine_.cfg_.join_timeout);
+  engine_.host_.set_timer(protocol::kTimerJoin, engine_.cfg_.timeouts.join);
   engine_.host_.set_timer(protocol::kTimerConsensus,
-                          engine_.cfg_.consensus_timeout);
+                          engine_.timers_.consensus());
   ACCELRING_LOG_INFO(kTag, "p%u: entering gather (#%llu)",
                      unsigned{engine_.self_},
                      static_cast<unsigned long long>(gathers_started_));
@@ -110,7 +116,7 @@ void Membership::on_join(const JoinMsg& join) {
     enter_gather();
   }
 
-  max_epoch_seen_ = std::max(max_epoch_seen_, ring_epoch(join.old_ring_id));
+  note_epoch(ring_epoch(join.old_ring_id));
   bool changed = false;
   if (fail_set_.erase(join.sender) > 0) changed = true;  // alive after all
   if (candidates_.insert(join.sender).second) changed = true;
@@ -148,7 +154,7 @@ void Membership::check_consensus() {
   engine_.state_ = State::kCommit;
   engine_.host_.cancel_timer(protocol::kTimerJoin);
   engine_.host_.set_timer(protocol::kTimerConsensus,
-                          engine_.cfg_.consensus_timeout);
+                          engine_.timers_.consensus());
   ACCELRING_LOG_INFO(kTag, "p%u: consensus on %zu members",
                      unsigned{engine_.self_}, candidates_.size());
   if (*candidates_.begin() == engine_.self_) start_commit();
@@ -162,8 +168,9 @@ void Membership::start_commit() {
   commit_ = CommitTokenMsg{};
   commit_.new_ring_id = make_ring_id(max_epoch_seen_ + 1, engine_.self_);
   // The proposed epoch is now spoken for: if this attempt dies and we gather
-  // again, the next proposal must use a fresh ring id.
-  max_epoch_seen_ = ring_epoch(commit_.new_ring_id);
+  // again, the next proposal must use a fresh ring id. Persisted before the
+  // commit token circulates, so the claim survives our own crash.
+  note_epoch(ring_epoch(commit_.new_ring_id));
   commit_.token_id = 1;
   commit_.rotation = 0;
   for (ProcessId p : candidates_) {
@@ -223,8 +230,7 @@ void Membership::on_commit(const CommitTokenMsg& commit) {
   }
   // Learn the epoch even if we end up rejecting this proposal below, so the
   // next proposal we create cannot reuse a ring id that is already live.
-  max_epoch_seen_ =
-      std::max(max_epoch_seen_, ring_epoch(commit.new_ring_id));
+  note_epoch(ring_epoch(commit.new_ring_id));
 
   if (pids != candidates_) {
     // The proposed membership no longer matches what we agreed to.
@@ -267,7 +273,7 @@ void Membership::on_commit(const CommitTokenMsg& commit) {
     engine_.state_ = State::kCommit;
     engine_.host_.cancel_timer(protocol::kTimerJoin);
     engine_.host_.set_timer(protocol::kTimerConsensus,
-                            engine_.cfg_.consensus_timeout);
+                            engine_.timers_.consensus());
     pass_commit(next);
     return;
   }
@@ -311,7 +317,7 @@ void Membership::enter_recover(const CommitTokenMsg& commit) {
   engine_.host_.cancel_timer(protocol::kTimerJoin);
   engine_.host_.cancel_timer(protocol::kTimerConsensus);
   engine_.host_.set_timer(protocol::kTimerTokenLoss,
-                          engine_.cfg_.token_loss_timeout);
+                          engine_.timers_.token_loss());
   eor_received_.clear();
 
   // Build the recovery send queue: every undiscarded old-ring message above
@@ -447,7 +453,7 @@ void Membership::on_foreign(ProcessId sender, RingId ring_id) {
   if (engine_.state_ == State::kIdle) return;
   if (ring_id == engine_.ring_.ring_id) return;
   if (stale_rings_.contains(ring_id)) return;
-  max_epoch_seen_ = std::max(max_epoch_seen_, ring_epoch(ring_id));
+  note_epoch(ring_epoch(ring_id));
   if (engine_.state_ != State::kOperational) {
     // Already reforming membership. Our joins are multicast, so any live
     // foreign ring will be drawn into the gather; reacting here would let
@@ -471,7 +477,7 @@ void Membership::on_timer(protocol::TimerKind kind) {
         check_consensus();
         if (engine_.state_ == State::kGather) {
           engine_.host_.set_timer(protocol::kTimerJoin,
-                                  engine_.cfg_.join_timeout);
+                                  engine_.cfg_.timeouts.join);
         }
       }
       break;
@@ -492,7 +498,7 @@ void Membership::on_timer(protocol::TimerKind kind) {
         check_consensus();
         if (engine_.state_ == State::kGather) {
           engine_.host_.set_timer(protocol::kTimerConsensus,
-                                  engine_.cfg_.consensus_timeout);
+                                  engine_.timers_.consensus());
         }
       } else if (engine_.state_ == State::kCommit) {
         enter_gather();  // commit token lost or a member died

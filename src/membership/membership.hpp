@@ -33,6 +33,7 @@
 #include <map>
 #include <set>
 
+#include "membership/epoch_store.hpp"
 #include "protocol/engine.hpp"
 #include "protocol/recv_buffer.hpp"
 #include "protocol/wire.hpp"
@@ -69,6 +70,15 @@ class Membership {
   /// processes whose Joins we hear.
   void start_discovery();
 
+  /// Attach durable epoch storage (nullptr detaches). The stored high-water
+  /// epoch becomes the floor for every ring id this process creates, so a
+  /// cold-restarted daemon can never reuse a ring id from a previous
+  /// incarnation. Attach before start_discovery()/start_with_ring().
+  void set_epoch_store(EpochStore* store) {
+    epoch_store_ = store;
+    if (store != nullptr) note_epoch(store->load());
+  }
+
   // --- events routed from the engine ---------------------------------------
   void on_join(const JoinMsg& join);
   void on_commit(const CommitTokenMsg& commit);
@@ -92,6 +102,9 @@ class Membership {
   using State = protocol::Engine::State;
 
   void enter_gather(bool keep_candidates = false);
+  /// Raise max_epoch_seen_ to at least `epoch` and persist the new
+  /// high-water mark if an epoch store is attached.
+  void note_epoch(uint64_t epoch);
   void send_join();
   void check_consensus();
   /// True when `pid`'s latest Join matches my candidate and fail sets.
@@ -116,6 +129,7 @@ class Membership {
   std::set<ProcessId> fail_set_;
   std::map<ProcessId, JoinMsg> joins_;
   uint64_t max_epoch_seen_ = 0;
+  EpochStore* epoch_store_ = nullptr;
 
   CommitTokenMsg commit_;      ///< in-progress commit token view
   uint64_t last_commit_id_ = 0;

@@ -17,7 +17,8 @@ Engine::Engine(ProcessId self, const ProtocolConfig& cfg, Host& host)
       cfg_(cfg),
       host_(host),
       membership_(std::make_unique<membership::Membership>(*this)),
-      flow_(cfg_) {}
+      flow_(cfg_),
+      timers_(cfg_) {}
 
 Engine::~Engine() = default;
 
@@ -34,6 +35,10 @@ void Engine::start_discovery() {
   membership_->start_discovery();
 }
 
+void Engine::set_epoch_store(membership::EpochStore* store) {
+  membership_->set_epoch_store(store);
+}
+
 void Engine::enter_operational(const RingConfig& ring, bool notify_config) {
   ring_ = ring;
   my_index_ = ring_.index_of(self_);
@@ -47,7 +52,7 @@ void Engine::enter_operational(const RingConfig& ring, bool notify_config) {
   if (notify_config) {
     host_.on_configuration(ConfigurationChange{ring_, /*transitional=*/false});
   }
-  host_.set_timer(kTimerTokenLoss, cfg_.token_loss_timeout);
+  host_.set_timer(kTimerTokenLoss, timers_.token_loss());
 }
 
 void Engine::reset_ordering_state() {
@@ -61,6 +66,8 @@ void Engine::reset_ordering_state() {
   safe_line_ = 0;
   token_high_priority_ = false;
   last_token_sent_.clear();
+  timers_.reset();
+  last_token_rx_ = 0;
   host_.cancel_timer(kTimerTokenRetransmit);
 }
 
@@ -113,7 +120,7 @@ void Engine::on_timer(TimerKind kind) {
         ++stats_.token_retransmits;
         host_.unicast(ring_.successor_of(self_), kSockToken,
                       last_token_sent_);
-        host_.set_timer(kTimerTokenRetransmit, cfg_.token_retransmit_timeout);
+        host_.set_timer(kTimerTokenRetransmit, cfg_.timeouts.token_retransmit);
       }
       break;
     case kTimerTokenLoss:
@@ -145,6 +152,19 @@ void Engine::handle_data(const DataMsg& msg) {
   }
   ++stats_.data_handled;
   trace(util::TraceEvent::kDataRx, msg.seq, msg.pid);
+
+  // Liveness-evidence deferral: a data message on our current ring proves
+  // the ring is making progress even while the token itself keeps getting
+  // lost, so push the token-loss timer out. Without this, a loss burst whose
+  // stretched rotation exceeds the timer armed *before* the burst would
+  // falsely trigger membership against live members. Genuine silence for a
+  // full estimated timeout still fires the timer, preserving crash
+  // detection. Applies even to duplicate data (a retransmission answered by
+  // a live member is evidence too).
+  if (cfg_.adaptive_timeouts &&
+      (state_ == State::kOperational || state_ == State::kRecover)) {
+    host_.set_timer(kTimerTokenLoss, timers_.token_loss());
+  }
 
   // Token-priority switching (§III-C): raise token priority when we process
   // a data message our immediate ring predecessor sent in the next token
@@ -193,7 +213,15 @@ void Engine::handle_token(const TokenMsg& received) {
   }
   last_token_id_ = received.token_id;
   host_.cancel_timer(kTimerTokenRetransmit);
-  host_.set_timer(kTimerTokenLoss, cfg_.token_loss_timeout);
+  // Feed the failure detector one rotation sample (time between consecutive
+  // accepted tokens at this member), then arm the loss timer with whatever
+  // the estimator currently believes.
+  const Nanos token_now = host_.now();
+  if (state_ == State::kOperational && last_token_rx_ > 0) {
+    timers_.sample(token_now - last_token_rx_);
+  }
+  last_token_rx_ = token_now;
+  host_.set_timer(kTimerTokenLoss, timers_.token_loss());
 
   trace(util::TraceEvent::kTokenRx, static_cast<int64_t>(received.round),
         received.seq);
@@ -355,9 +383,9 @@ void Engine::send_token(const TokenMsg& token, bool idle) {
   trace(util::TraceEvent::kTokenTx, static_cast<int64_t>(token.round),
         token.seq);
   last_token_sent_ = encode(token);
-  const Nanos hold = idle ? cfg_.idle_token_hold : 0;
+  const Nanos hold = idle ? cfg_.timeouts.idle_token_hold : 0;
   host_.unicast(ring_.successor_of(self_), kSockToken, last_token_sent_, hold);
-  host_.set_timer(kTimerTokenRetransmit, cfg_.token_retransmit_timeout + hold);
+  host_.set_timer(kTimerTokenRetransmit, cfg_.timeouts.token_retransmit + hold);
 }
 
 void Engine::deliver_ready() {

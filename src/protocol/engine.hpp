@@ -23,11 +23,13 @@
 
 #include "protocol/flow_control.hpp"
 #include "protocol/recv_buffer.hpp"
+#include "protocol/timeout_estimator.hpp"
 #include "protocol/types.hpp"
 #include "protocol/wire.hpp"
 #include "util/trace.hpp"
 
 namespace accelring::membership {
+class EpochStore;
 class Membership;
 }
 
@@ -149,6 +151,10 @@ class Engine final : public PacketHandler {
   }
   [[nodiscard]] size_t pending() const { return app_queue_.size(); }
   [[nodiscard]] const ProtocolConfig& config() const { return cfg_; }
+  /// Adaptive failure-detection state (srtt/rttvar of token rotation).
+  [[nodiscard]] const TimeoutEstimator& timeout_estimator() const {
+    return timers_;
+  }
   /// True if this engine has received (or already stably discarded) the
   /// message with sequence number `seq` — used by tests to verify the Safe
   /// delivery (stability) guarantee at the instant of delivery elsewhere.
@@ -165,6 +171,10 @@ class Engine final : public PacketHandler {
   /// emulating implementation header overhead (0 for the library prototype,
   /// larger for the daemon and Spread profiles). Affects wire size only.
   void set_header_pad(uint16_t pad) { header_pad_ = pad; }
+
+  /// Attach durable epoch storage for membership ring-id generation (see
+  /// membership::EpochStore). Call before start_*; nullptr detaches.
+  void set_epoch_store(membership::EpochStore* store);
 
  private:
   friend class membership::Membership;
@@ -216,6 +226,8 @@ class Engine final : public PacketHandler {
 
   RecvBuffer buffer_;
   FlowControl flow_;
+  TimeoutEstimator timers_;
+  Nanos last_token_rx_ = 0;  ///< rotation-time sampling (0 = no prior token)
   std::deque<PendingMsg> app_queue_;
   std::deque<PendingMsg> recovery_queue_;
 

@@ -1,0 +1,101 @@
+// Adaptive failure-detection timeouts from observed token rotation time.
+//
+// The static token-loss and consensus timeouts in Timeouts are a compromise:
+// set them long and a crashed member stalls the ring for the full constant;
+// set them short and a loss burst that merely *stretches* rotation gets a
+// live member ejected. This estimator adapts them with the Jacobson/Karels
+// RTO filter (SIGCOMM '88) applied to the token rotation time the engine
+// actually observes:
+//
+//   err     = rotation - srtt
+//   srtt   += err / 8
+//   rttvar += (|err| - rttvar) / 4
+//   timeout = srtt + 4 * rttvar + allowance
+//
+// clamped between a floor (never react faster than a couple of token
+// retransmit intervals) and a ceiling (never wait longer than a small
+// multiple of the configured static timeout, so a mis-trained estimator
+// cannot wedge failure detection). Until `kWarmup` rotations have been
+// sampled the estimator reports the static base values unchanged.
+//
+// The estimator alone cannot ride out the *onset* of a burst — the timer was
+// armed with the pre-burst estimate, and fires before the first stretched
+// rotation completes and gets sampled. The engine closes that gap with
+// liveness-evidence deferral: when adaptive_timeouts is on, any
+// authenticated data datagram from the current ring re-arms the token-loss
+// timer, because surviving traffic proves the ring is making progress even
+// when the token itself keeps getting dropped. Genuine silence for a full
+// estimated timeout still triggers membership, so crash detection is
+// preserved (and usually *faster* than the static constant on a quiet,
+// low-latency network).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "protocol/types.hpp"
+#include "util/time.hpp"
+
+namespace accelring::protocol {
+
+class TimeoutEstimator {
+ public:
+  explicit TimeoutEstimator(const ProtocolConfig& cfg) : cfg_(cfg) {}
+
+  /// Feed one observed token rotation (time between consecutive accepted
+  /// tokens at this member, operational state only).
+  void sample(Nanos rotation) {
+    if (rotation <= 0) return;
+    if (samples_ == 0) {
+      srtt_ = rotation;
+      rttvar_ = rotation / 2;
+    } else {
+      const Nanos err = rotation - srtt_;
+      srtt_ += err / 8;
+      rttvar_ += ((err < 0 ? -err : err) - rttvar_) / 4;
+    }
+    ++samples_;
+  }
+
+  /// Forget everything (membership change installs a new ring whose rotation
+  /// time may be nothing like the old one's).
+  void reset() {
+    srtt_ = 0;
+    rttvar_ = 0;
+    samples_ = 0;
+  }
+
+  [[nodiscard]] bool warm() const { return samples_ >= kWarmup; }
+
+  /// Token-loss timeout to arm right now.
+  [[nodiscard]] Nanos token_loss() const {
+    const Timeouts& t = cfg_.timeouts;
+    if (!cfg_.adaptive_timeouts || !warm()) return t.token_loss;
+    return std::clamp(srtt_ + 4 * rttvar_ + 2 * t.token_retransmit,
+                      2 * t.token_retransmit, 4 * t.token_loss);
+  }
+
+  /// Consensus timeout for the membership algorithm. Gather/commit needs a
+  /// couple of message exchanges among the candidates, not a token rotation,
+  /// so the estimate is scaled up and floored at a few join intervals.
+  [[nodiscard]] Nanos consensus() const {
+    const Timeouts& t = cfg_.timeouts;
+    if (!cfg_.adaptive_timeouts || !warm()) return t.consensus;
+    return std::clamp(2 * (srtt_ + 4 * rttvar_) + 4 * t.join, 4 * t.join,
+                      4 * t.consensus);
+  }
+
+  [[nodiscard]] Nanos srtt() const { return srtt_; }
+  [[nodiscard]] Nanos rttvar() const { return rttvar_; }
+  [[nodiscard]] uint64_t samples() const { return samples_; }
+
+ private:
+  static constexpr uint64_t kWarmup = 3;
+
+  const ProtocolConfig& cfg_;
+  Nanos srtt_ = 0;
+  Nanos rttvar_ = 0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace accelring::protocol

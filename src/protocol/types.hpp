@@ -97,6 +97,28 @@ struct RingConfig {
   [[nodiscard]] ProcessId representative() const { return members.front(); }
 };
 
+/// Every protocol timer base value, in one place. These used to be loose
+/// fields scattered through the config; naming the group gives the adaptive
+/// failure detector (timeout_estimator.hpp) a single anchor: when
+/// ProtocolConfig::adaptive_timeouts is on, the estimator derives the live
+/// token-loss and consensus timeouts from observed token rotation time,
+/// clamped between floors and ceilings expressed in these base values.
+struct Timeouts {
+  /// Token retransmission timeout: resend the token if no evidence of
+  /// progress after passing it.
+  Nanos token_retransmit = util::msec(10);
+  /// Token loss timeout: trigger the membership algorithm.
+  Nanos token_loss = util::msec(100);
+  /// Membership: how long to wait collecting join messages.
+  Nanos join = util::msec(20);
+  /// Membership: restart gather if consensus/commit stalls this long.
+  Nanos consensus = util::msec(200);
+  /// Hold the token this long before passing it when the ring is fully idle
+  /// (nothing sent for a round, no outstanding retransmissions, aru == seq).
+  /// Bounds CPU (and simulated event) load of an idle ring.
+  Nanos idle_token_hold = util::usec(200);
+};
+
 /// Flow control and protocol tuning (§III-A). Defaults follow Spread's
 /// data-center defaults, scaled for an 8-member ring.
 struct ProtocolConfig {
@@ -140,19 +162,17 @@ struct ProtocolConfig {
   /// bench/ablation_rtr_guard quantifies the damage.
   bool naive_rtr_guard = false;
 
-  /// Token retransmission timeout: resend the token if no evidence of
-  /// progress after passing it.
-  Nanos token_retransmit_timeout = util::msec(10);
-  /// Token loss timeout: trigger the membership algorithm.
-  Nanos token_loss_timeout = util::msec(100);
-  /// Membership: how long to wait collecting join messages.
-  Nanos join_timeout = util::msec(20);
-  /// Membership: restart gather if consensus/commit stalls this long.
-  Nanos consensus_timeout = util::msec(200);
-  /// Hold the token this long before passing it when the ring is fully idle
-  /// (nothing sent for a round, no outstanding retransmissions, aru == seq).
-  /// Bounds CPU (and simulated event) load of an idle ring.
-  Nanos idle_token_hold = util::usec(200);
+  /// Protocol timer base values (see Timeouts).
+  Timeouts timeouts;
+  /// Adaptive failure detection: estimate token rotation time with a
+  /// Jacobson-style EWMA + variance filter and derive the token-loss and
+  /// consensus timeouts from it (floor/ceiling anchored in `timeouts`),
+  /// instead of using the static values directly. Additionally, any
+  /// authenticated current-ring data traffic defers the token-loss timer:
+  /// a ring making (slow, lossy) progress is alive, so membership fires
+  /// only on genuine silence. Off by default so static-timeout behaviour
+  /// stays reproducible; the fault campaigns run with it on.
+  bool adaptive_timeouts = false;
 
   /// Effective accelerated window given the variant.
   [[nodiscard]] uint32_t effective_accel_window() const {

@@ -132,7 +132,8 @@ void Network::forward(int src, int dst, SocketId sock, const Payload& data,
     port_queued_bytes_[dst] -= bytes_on_wire;
   });
 
-  const Nanos delivered = done + params_.prop_delay + params_.host_rx_latency;
+  const Nanos delivered =
+      done + params_.prop_delay + params_.host_rx_latency + extra_latency_;
   eq_.schedule(delivered, [this, dst, sock, data] {
     ++stats_.datagrams_delivered;
     if (sinks_[dst]) sinks_[dst](sock, data);

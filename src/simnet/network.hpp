@@ -123,6 +123,13 @@ class Network {
   /// of k frames survives with probability (1-p)^k).
   void set_loss_rate(double p) { params_.loss_rate = p; }
 
+  /// Additional one-way delivery latency applied to every datagram from now
+  /// on (models a routing change, cross-switch failover, or congestion shift
+  /// — the condition adaptive failure detection must ride through without
+  /// ejecting live members). 0 restores the base fabric latency.
+  void set_extra_latency(Nanos extra) { extra_latency_ = extra; }
+  [[nodiscard]] Nanos extra_latency() const { return extra_latency_; }
+
   /// Assign `host` to partition `id`; traffic crosses only equal ids.
   void set_partition(int host, int id);
   /// Put every host back in partition 0.
@@ -152,6 +159,7 @@ class Network {
   std::vector<size_t> port_queued_bytes_; // per host: downlink queue occupancy
   std::vector<int> partition_;
   std::vector<bool> down_;
+  Nanos extra_latency_ = 0;
   DropFilter drop_filter_;
   NetworkStats stats_;
 };

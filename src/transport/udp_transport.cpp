@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
@@ -22,8 +23,12 @@ int make_udp_socket(const std::string& ip, uint16_t port) {
   if (fd < 0) throw std::runtime_error("socket() failed");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Size both buffers explicitly: a high-rate ring bursts a full token
+  // round's worth of datagrams at once, and the kernel defaults (often a few
+  // hundred KB) silently drop the tail of each burst on both directions.
   const int buf = 4 * 1024 * 1024;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -73,9 +78,20 @@ void UdpTransport::send_to(protocol::ProcessId to, protocol::SocketId sock,
   ::inet_pton(AF_INET, it->second.ip.c_str(), &addr.sin_addr);
   // Send from the matching socket so replies/captures look sane.
   const int fd = sock == protocol::kSockToken ? token_fd_ : data_fd_;
-  ::sendto(fd, data.data(), data.size(), 0,
-           reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  ++sent_;
+  ssize_t n;
+  do {
+    n = ::sendto(fd, data.data(), data.size(), 0,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (n < 0 && errno == EINTR);
+  // UDP gives no delivery guarantee anyway, so a full socket buffer
+  // (EAGAIN), an unreachable peer, or a short write is exactly a dropped
+  // datagram: count it and move on — the ring's retransmission machinery is
+  // the recovery path, not the syscall return code.
+  if (n == static_cast<ssize_t>(data.size())) {
+    ++sent_;
+  } else {
+    ++send_drops_;
+  }
 }
 
 void UdpTransport::multicast(protocol::SocketId sock,
@@ -137,7 +153,10 @@ bool UdpTransport::read_one() {
       preferred == protocol::kSockToken ? data_fd_ : token_fd_};
   std::byte buf[65536];
   for (const int fd : order) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    ssize_t n;
+    do {
+      n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    } while (n < 0 && errno == EINTR);
     if (n > 0) {
       ++received_;
       handler_->on_packet(fd == token_fd_ ? protocol::kSockToken

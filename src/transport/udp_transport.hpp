@@ -58,6 +58,9 @@ class UdpTransport final : public protocol::Host {
 
   [[nodiscard]] uint64_t datagrams_sent() const { return sent_; }
   [[nodiscard]] uint64_t datagrams_received() const { return received_; }
+  /// Datagrams the kernel refused to take (EAGAIN, unreachable, short
+  /// write). Treated as wire loss: the protocol retransmits.
+  [[nodiscard]] uint64_t send_drops() const { return send_drops_; }
 
  private:
   void on_readable(protocol::SocketId which);
@@ -79,6 +82,7 @@ class UdpTransport final : public protocol::Host {
   protocol::ProcessId pending_token_to_ = protocol::kNoProcess;
   uint64_t sent_ = 0;
   uint64_t received_ = 0;
+  uint64_t send_drops_ = 0;
 };
 
 }  // namespace accelring::transport

@@ -1,0 +1,52 @@
+// Jittered exponential backoff for reconnect loops.
+//
+// Equal-jitter variant: the k-th delay is uniform in [cap_k/2, cap_k] where
+// cap_k = min(cap, base * 2^k). Full-jitter (uniform in [0, cap_k]) can
+// produce near-zero delays that hammer a daemon the instant it dies;
+// equal-jitter keeps at least half the exponential spacing while still
+// decorrelating a fleet of clients that all lost the same daemon at the
+// same moment (the reconnect-storm scenario in src/check/).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace accelring::util {
+
+class Backoff {
+ public:
+  /// `base` is the pre-jitter first delay, `cap` the pre-jitter maximum.
+  /// Both must be positive; `seed` decorrelates independent clients.
+  Backoff(Nanos base, Nanos cap, uint64_t seed)
+      : base_(base), cap_(cap), rng_(seed) {}
+
+  /// Delay to wait before the next attempt, advancing the attempt counter.
+  [[nodiscard]] Nanos next() {
+    const unsigned shift = std::min(attempts_, 62u);
+    Nanos ceiling = cap_;
+    // base * 2^shift without overflow: once a single doubling passes the
+    // cap, stop shifting.
+    if (shift < 62 && base_ <= cap_ >> shift) ceiling = base_ << shift;
+    ceiling = std::min(ceiling, cap_);
+    ++attempts_;
+    const Nanos half = ceiling / 2;
+    return half + static_cast<Nanos>(
+                      rng_.below(static_cast<uint64_t>(ceiling - half) + 1));
+  }
+
+  /// Call after a successful attempt: the next failure starts from `base`.
+  void reset() { attempts_ = 0; }
+
+  [[nodiscard]] unsigned attempts() const { return attempts_; }
+
+ private:
+  Nanos base_;
+  Nanos cap_;
+  Rng rng_;
+  unsigned attempts_ = 0;
+};
+
+}  // namespace accelring::util

@@ -1,0 +1,75 @@
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace accelring::util {
+namespace {
+
+TEST(Backoff, FirstDelayIsWithinBaseWindow) {
+  // Equal jitter: attempt 0 draws from [base/2, base].
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Backoff b(msec(2), msec(40), seed);
+    const Nanos d = b.next();
+    EXPECT_GE(d, msec(1)) << "seed " << seed;
+    EXPECT_LE(d, msec(2)) << "seed " << seed;
+  }
+}
+
+TEST(Backoff, CeilingDoublesThenCaps) {
+  Backoff b(msec(2), msec(40), 7);
+  // Attempt k draws from [ceil/2, ceil] with ceil = min(base << k, cap).
+  const std::vector<Nanos> ceilings = {msec(2),  msec(4),  msec(8),
+                                       msec(16), msec(32), msec(40),
+                                       msec(40), msec(40)};
+  for (size_t k = 0; k < ceilings.size(); ++k) {
+    const Nanos d = b.next();
+    EXPECT_GE(d, ceilings[k] / 2) << "attempt " << k;
+    EXPECT_LE(d, ceilings[k]) << "attempt " << k;
+  }
+  EXPECT_EQ(b.attempts(), ceilings.size());
+}
+
+TEST(Backoff, NeverExceedsCapEvenAfterManyAttempts) {
+  Backoff b(msec(2), msec(40), 13);
+  for (int i = 0; i < 100; ++i) {
+    const Nanos d = b.next();
+    EXPECT_LE(d, msec(40));
+    EXPECT_GE(d, msec(1));
+  }
+}
+
+TEST(Backoff, NoOverflowWithHugeAttemptCounts) {
+  // The shift is clamped; 200 attempts must not wrap base << k.
+  Backoff b(msec(10), util::msec(30'000), 3);
+  Nanos last = 0;
+  for (int i = 0; i < 200; ++i) last = b.next();
+  EXPECT_GT(last, 0);
+  EXPECT_LE(last, util::msec(30'000));
+}
+
+TEST(Backoff, ResetRestartsTheSchedule) {
+  Backoff b(msec(2), msec(40), 21);
+  for (int i = 0; i < 6; ++i) (void)b.next();
+  b.reset();
+  EXPECT_EQ(b.attempts(), 0u);
+  const Nanos d = b.next();
+  EXPECT_GE(d, msec(1));
+  EXPECT_LE(d, msec(2));
+}
+
+TEST(Backoff, JitterActuallyVaries) {
+  // Two clients with different seeds must not produce identical schedules
+  // (that is the thundering-herd failure mode the jitter exists to break).
+  Backoff a(msec(2), msec(40), 1);
+  Backoff b(msec(2), msec(40), 2);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs = differs || a.next() != b.next();
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace accelring::util

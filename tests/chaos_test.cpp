@@ -10,6 +10,10 @@
 #include <deque>
 #include <map>
 
+#include "check/campaign.hpp"
+#include "check/client_fleet.hpp"
+#include "check/oracle.hpp"
+#include "harness/cluster.hpp"
 #include "membership/membership.hpp"
 #include "protocol/engine.hpp"
 #include "util/bytes.hpp"
@@ -160,3 +164,69 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSchedule,
 
 }  // namespace
 }  // namespace accelring::protocol
+
+namespace accelring::check {
+namespace {
+
+/// Reconnect storm: a large client fleet rides through two daemons crashing
+/// and cold-restarting back to back. Every client on the crashed nodes must
+/// find its replacement daemon through the jittered backoff loop, resend its
+/// outbox, and the fleet as a whole must end with zero duplicate and zero
+/// lost delivered messages (scoped per EVS, see ClientFleet).
+class ReconnectStorm : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReconnectStorm, ManyClientsThroughDaemonCrashRestart) {
+  const uint64_t seed = GetParam();
+  protocol::ProtocolConfig proto = fast_proto_config();
+  harness::SimCluster cluster(5, simnet::FabricParams::one_gig(), proto,
+                              harness::ImplProfile::kLibrary, seed);
+  ClusterOracle oracle(5);
+  oracle.attach(cluster);
+
+  FleetOptions fopt;
+  fopt.clients_per_node = 4;  // 20 clients: a storm, not a trickle
+  fopt.seed = seed;
+  ClientFleet fleet(cluster, fopt);
+  cluster.start_static();
+  const Nanos horizon = util::msec(300);
+  fleet.start(horizon);
+
+  auto crash = [&](int node, Nanos at, Nanos back_at) {
+    cluster.eq().schedule_after(at, [&cluster, &oracle, &fleet, node] {
+      cluster.crash_node(node);
+      oracle.note_crash(node);
+      fleet.on_crash(node);
+    });
+    cluster.eq().schedule_after(back_at, [&cluster, &oracle, &fleet, node] {
+      cluster.restart_node(node);
+      oracle.note_restart(node);
+      fleet.on_restart(node);
+    });
+  };
+  crash(1, util::msec(70), util::msec(120));
+  crash(3, util::msec(150), util::msec(200));
+
+  cluster.run_until(horizon + util::msec(400));
+  const harness::ClusterStats stats = cluster.stats();
+  oracle.finalize(&stats);
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+
+  const FleetReport report = fleet.finalize();
+  EXPECT_TRUE(report.ok)
+      << "seed " << seed << ": "
+      << (report.violations.empty() ? "" : report.violations.front().what);
+  // 20 initial connections plus a reconnect for each of the 8 clients that
+  // lost their daemon.
+  EXPECT_GE(report.reconnects, 28u) << "seed " << seed;
+  EXPECT_GT(report.sent, 0u);
+  EXPECT_GT(report.delivered, report.sent);  // fan-out across the fleet
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconnectStorm,
+                         ::testing::Range<uint64_t>(1, 6),
+                         [](const ::testing::TestParamInfo<uint64_t>& param) {
+                           return "seed" + std::to_string(param.param);
+                         });
+
+}  // namespace
+}  // namespace accelring::check

@@ -44,9 +44,9 @@ TEST_P(ChurnFuzz, ConvergesAndStaysConsistent) {
   util::Rng rng(seed);
 
   protocol::ProtocolConfig cfg;
-  cfg.token_loss_timeout = util::msec(30);
-  cfg.join_timeout = util::msec(5);
-  cfg.consensus_timeout = util::msec(60);
+  cfg.timeouts.token_loss = util::msec(30);
+  cfg.timeouts.join = util::msec(5);
+  cfg.timeouts.consensus = util::msec(60);
   SimCluster cluster(kNodes, simnet::FabricParams::one_gig(), cfg,
                      ImplProfile::kLibrary, seed);
 

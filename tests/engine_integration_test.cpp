@@ -16,10 +16,10 @@ using protocol::Service;
 
 protocol::ProtocolConfig fast_cfg() {
   protocol::ProtocolConfig cfg;
-  cfg.token_retransmit_timeout = util::msec(3);
-  cfg.token_loss_timeout = util::msec(60);
-  cfg.join_timeout = util::msec(5);
-  cfg.consensus_timeout = util::msec(80);
+  cfg.timeouts.token_retransmit = util::msec(3);
+  cfg.timeouts.token_loss = util::msec(60);
+  cfg.timeouts.join = util::msec(5);
+  cfg.timeouts.consensus = util::msec(80);
   return cfg;
 }
 

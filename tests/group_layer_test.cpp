@@ -202,9 +202,9 @@ TEST(GroupLayer, DisconnectLeavesAllGroups) {
 
 TEST(GroupLayer, DaemonCrashRemovesItsClientsFromGroups) {
   protocol::ProtocolConfig cfg;
-  cfg.token_loss_timeout = util::msec(30);
-  cfg.join_timeout = util::msec(5);
-  cfg.consensus_timeout = util::msec(60);
+  cfg.timeouts.token_loss = util::msec(30);
+  cfg.timeouts.join = util::msec(5);
+  cfg.timeouts.consensus = util::msec(60);
   DaemonCluster dc(3, /*seed=*/17, cfg);
   std::vector<GroupView> views_a;
   Client a(*dc.daemons[0], "a", {},

@@ -161,7 +161,7 @@ option packing 1
   EXPECT_EQ(config->proto.variant, protocol::Variant::kAccelerated);
   EXPECT_EQ(config->proto.personal_window, 25u);
   EXPECT_EQ(config->proto.accelerated_window, 18u);
-  EXPECT_EQ(config->proto.token_loss_timeout, util::msec(250));
+  EXPECT_EQ(config->proto.timeouts.token_loss, util::msec(250));
   EXPECT_TRUE(config->proto.enable_packing);
 }
 

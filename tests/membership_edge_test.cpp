@@ -15,9 +15,9 @@ using protocol::Service;
 
 protocol::ProtocolConfig fast_cfg() {
   protocol::ProtocolConfig cfg;
-  cfg.token_loss_timeout = util::msec(30);
-  cfg.join_timeout = util::msec(5);
-  cfg.consensus_timeout = util::msec(60);
+  cfg.timeouts.token_loss = util::msec(30);
+  cfg.timeouts.join = util::msec(5);
+  cfg.timeouts.consensus = util::msec(60);
   return cfg;
 }
 

@@ -122,9 +122,9 @@ MultiRingConfig edge_config(int rings, uint64_t seed) {
   cfg.nodes_per_ring = 4;
   cfg.fabric = simnet::FabricParams::one_gig();
   cfg.merge_batch = 4;
-  cfg.proto.token_loss_timeout = util::msec(30);
-  cfg.proto.join_timeout = util::msec(5);
-  cfg.proto.consensus_timeout = util::msec(60);
+  cfg.proto.timeouts.token_loss = util::msec(30);
+  cfg.proto.timeouts.join = util::msec(5);
+  cfg.proto.timeouts.consensus = util::msec(60);
   cfg.seed = seed;
   return cfg;
 }

@@ -46,8 +46,8 @@ struct UdpRing {
   explicit UdpRing(int n) {
     const auto peers = make_peers(n);
     protocol::ProtocolConfig cfg;
-    cfg.token_retransmit_timeout = util::msec(20);
-    cfg.token_loss_timeout = util::msec(500);
+    cfg.timeouts.token_retransmit = util::msec(20);
+    cfg.timeouts.token_loss = util::msec(500);
     nodes.resize(n);
     protocol::RingConfig ring;
     ring.ring_id = membership::make_ring_id(1, 0);

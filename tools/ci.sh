@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# The full local CI gate: plain, ASan, and UBSan builds, every test suite,
+# and the fast fault-injection campaign. Sanitized builds live in their own
+# trees (sanitizers change the ABI of everything they touch).
+#
+#   tools/ci.sh              # everything (~a few minutes)
+#   tools/ci.sh --fast       # plain build + tests + check-fast only
+#
+# Any failure stops the script with a nonzero exit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+
+configure_and_test() {
+  local dir="$1"
+  shift
+  echo "=== ${dir}: configure ==="
+  # Only pick a generator for a fresh tree; an existing cache keeps its own.
+  local gen=("${GENERATOR[@]}")
+  [[ -f "${dir}/CMakeCache.txt" ]] && gen=()
+  cmake -B "${dir}" -S . "${gen[@]}" "$@"
+  echo "=== ${dir}: build ==="
+  cmake --build "${dir}" -j
+  echo "=== ${dir}: test ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+configure_and_test build
+
+echo "=== build: check-fast ==="
+cmake --build build --target check-fast
+
+if [[ "${FAST}" == "0" ]]; then
+  configure_and_test build-asan -DACCELRING_SANITIZE=address
+  configure_and_test build-ubsan -DACCELRING_SANITIZE=undefined
+fi
+
+echo "=== ci.sh: all green ==="
