@@ -71,22 +71,44 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
   ClusterOracle oracle(ropt.nodes);
   oracle.attach(cluster);
 
-  // False-ejection audit (see RunResult::false_ejections): only meaningful
-  // when no fault in the schedule justifies removing a node.
-  bool ejection_justified = false;
+  // Ejection audit (see RunResult::false_ejections). Partitions, crashes,
+  // and restarts can legitimately remove any node from a configuration; a
+  // gray fault (slow CPU, lossy or severed link) justifies removing only its
+  // victim. Everyone else is healthy: a configuration that excludes a
+  // healthy, reachable node counts as a false ejection, and a gray-failure
+  // quarantine of one is a safety violation (checked after the run).
+  bool any_ejection_justified = false;
+  auto degraded = std::make_shared<std::set<int>>();
   for (const FaultEvent& e : schedule.events) {
-    ejection_justified = ejection_justified ||
-                         e.kind == FaultKind::kPartition ||
-                         e.kind == FaultKind::kCrash ||
-                         e.kind == FaultKind::kRestart;
+    switch (e.kind) {
+      case FaultKind::kPartition:
+      case FaultKind::kCrash:
+      case FaultKind::kRestart:
+        any_ejection_justified = true;
+        break;
+      case FaultKind::kCpuMultiplier:
+        if (e.rate > 1.0) degraded->insert(e.node);
+        break;
+      case FaultKind::kLinkLoss:
+        degraded->insert(e.node);
+        break;
+      case FaultKind::kLinkDown:
+        // A severed directed link degrades both endpoints' view of each
+        // other; either may legitimately fall out of a configuration.
+        degraded->insert(e.node);
+        if (e.peer >= 0) degraded->insert(e.peer);
+        break;
+      default:
+        break;
+    }
   }
   auto ejected = std::make_shared<std::set<uint64_t>>();
-  if (!ejection_justified) {
-    cluster.add_on_config([&cluster, ejected, nodes = ropt.nodes](
+  if (!any_ejection_justified) {
+    cluster.add_on_config([&cluster, ejected, degraded, nodes = ropt.nodes](
                               int, const protocol::ConfigurationChange& c) {
       if (c.transitional) return;
       for (int n = 0; n < nodes; ++n) {
-        if (cluster.net().host_down(n)) continue;
+        if (cluster.net().host_down(n) || degraded->contains(n)) continue;
         const auto pid = static_cast<protocol::ProcessId>(n);
         bool member = false;
         for (const auto m : c.config.members) member = member || m == pid;
@@ -152,6 +174,29 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
         case FaultKind::kOverload:
           if (fleetp != nullptr) fleetp->burst(e.node, e.count);
           break;
+        case FaultKind::kCpuMultiplier:
+          // Droppable: rate 1 (or a multiplier shrunk away) is a no-op.
+          cluster.process(e.node).set_cpu_multiplier(e.rate);
+          break;
+        case FaultKind::kLinkLoss:
+          net.set_link_loss(e.peer, e.node, e.rate);
+          break;
+        case FaultKind::kLinkDown:
+          net.set_link_down(e.peer, e.node, true);
+          cluster.eq().schedule_after(e.duration, [&net, e] {
+            net.set_link_down(e.peer, e.node, false);
+          });
+          break;
+        case FaultKind::kReorder:
+          net.set_reorder(e.rate, e.extra_latency);
+          cluster.eq().schedule_after(e.duration,
+                                      [&net] { net.set_reorder(0, 0); });
+          break;
+        case FaultKind::kDuplicate:
+          net.set_duplicate(e.rate);
+          cluster.eq().schedule_after(e.duration,
+                                      [&net] { net.set_duplicate(0); });
+          break;
       }
     });
   }
@@ -172,11 +217,17 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
     });
   }
 
-  // Heal everything at the horizon so the drain can converge.
+  // Heal everything at the horizon so the drain can converge. Gray faults
+  // heal too: a quarantined member turns healthy here and probes its way
+  // back through probation during the drain.
   eq.schedule_after(ropt.horizon, [&cluster, fault] {
     cluster.net().heal();
     cluster.net().set_loss_rate(0);
     cluster.net().set_extra_latency(0);
+    cluster.net().clear_link_faults();
+    for (int n = 0; n < cluster.size(); ++n) {
+      cluster.process(n).set_cpu_multiplier(1.0);
+    }
     fault->token_drops_pending = 0;
   });
 
@@ -190,6 +241,29 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
   res.violations = oracle.violations();
   res.delivered = oracle.observed();
   res.false_ejections = ejected->size();
+  res.quarantines = stats.quarantines();
+  res.readmits = stats.readmits();
+  // Healthy-member quarantine audit: every pid any engine's membership layer
+  // ever quarantined (read from the quarantine log, which — unlike the trace
+  // ring buffer — never wraps) must have been the target of a gray fault.
+  // Crash/partition/restart schedules are exempt: membership churn there can
+  // hand the detector a legitimately torn ring.
+  if (!any_ejection_justified) {
+    std::set<protocol::ProcessId> blamed;
+    for (int n = 0; n < ropt.nodes; ++n) {
+      for (const protocol::ProcessId v :
+           cluster.engine(n).quarantine_victims()) {
+        blamed.insert(v);
+      }
+    }
+    for (const protocol::ProcessId v : blamed) {
+      if (degraded->contains(static_cast<int>(v))) continue;
+      res.ok = false;
+      res.violations.push_back(Violation{
+          "healthy member quarantined: node " + std::to_string(v) +
+          " was gray-failure evicted but no fault degraded it"});
+    }
+  }
   if (fleet) {
     const FleetReport fr = fleet->finalize();
     res.client_delivered = fr.delivered;
@@ -304,6 +378,31 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
         case FaultKind::kOverload:
           // Client-level fault; client scenarios are single-ring only.
           break;
+        case FaultKind::kCpuMultiplier:
+        case FaultKind::kLinkLoss:
+        case FaultKind::kLinkDown:
+          // Targeted gray faults: their scenarios are not multiring-safe.
+          break;
+        case FaultKind::kReorder:
+          for (int r = 0; r < rings.num_rings(); ++r) {
+            rings.ring(r).net().set_reorder(e.rate, e.extra_latency);
+          }
+          eq.schedule_after(e.duration, [&rings] {
+            for (int r = 0; r < rings.num_rings(); ++r) {
+              rings.ring(r).net().set_reorder(0, 0);
+            }
+          });
+          break;
+        case FaultKind::kDuplicate:
+          for (int r = 0; r < rings.num_rings(); ++r) {
+            rings.ring(r).net().set_duplicate(e.rate);
+          }
+          eq.schedule_after(e.duration, [&rings] {
+            for (int r = 0; r < rings.num_rings(); ++r) {
+              rings.ring(r).net().set_duplicate(0);
+            }
+          });
+          break;
       }
     });
   }
@@ -325,16 +424,39 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
       rings.ring(r).net().heal();
       rings.ring(r).net().set_loss_rate(0);
       rings.ring(r).net().set_extra_latency(0);
+      rings.ring(r).net().clear_link_faults();
     }
     fault->token_drops_pending = 0;
   });
 
   rings.run_until(opt.horizon + opt.drain);
 
+  // No gray fault runs against a ring set, so any quarantine here hit a
+  // healthy member by definition (crash/partition schedules excepted — their
+  // churn can legitimately tear a ring mid-verdict).
+  bool churn_justified = false;
+  for (const FaultEvent& e : schedule.events) {
+    churn_justified = churn_justified || e.kind == FaultKind::kPartition ||
+                      e.kind == FaultKind::kCrash;
+  }
+
   RunResult res;
   res.ok = true;
   for (int r = 0; r < opt.rings; ++r) {
     const harness::ClusterStats stats = rings.ring(r).stats();
+    res.quarantines += stats.quarantines();
+    res.readmits += stats.readmits();
+    if (!churn_justified) {
+      for (int n = 0; n < opt.nodes; ++n) {
+        for (const protocol::ProcessId v :
+             rings.ring(r).engine(n).quarantine_victims()) {
+          res.ok = false;
+          res.violations.push_back(Violation{
+              "ring " + std::to_string(r) +
+              ": healthy member quarantined: node " + std::to_string(v)});
+        }
+      }
+    }
     oracles[static_cast<size_t>(r)]->finalize(&stats);
     res.delivered += oracles[static_cast<size_t>(r)]->observed();
     res.ok = res.ok && oracles[static_cast<size_t>(r)]->ok();
@@ -357,6 +479,12 @@ protocol::ProtocolConfig fast_proto_config() {
   cfg.timeouts.token_loss = util::msec(30);
   cfg.timeouts.join = util::msec(5);
   cfg.timeouts.consensus = util::msec(60);
+  return cfg;
+}
+
+protocol::ProtocolConfig campaign_proto_config() {
+  protocol::ProtocolConfig cfg = fast_proto_config();
+  cfg.gray.enabled = true;
   return cfg;
 }
 
@@ -413,6 +541,8 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
       ++result.runs;
       result.delivered += run.delivered;
       result.false_ejections += run.false_ejections;
+      result.quarantines += run.quarantines;
+      result.readmits += run.readmits;
       if (run.ok) continue;
 
       ++result.failures;

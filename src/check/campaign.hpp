@@ -29,6 +29,14 @@ namespace accelring::check {
 /// few-hundred-millisecond run.
 [[nodiscard]] protocol::ProtocolConfig fast_proto_config();
 
+/// fast_proto_config() plus gray-failure detection. The campaign default:
+/// every scenario — fault-free and loss-only included — doubles as the
+/// detector's zero-false-positive regression via the healthy-member
+/// quarantine audit. Kept separate from fast_proto_config() so experiments
+/// that borrow the fast timeouts (e.g. the adaptive-timeout A/B) vary one
+/// variable at a time and keep seed-identical packet sizes.
+[[nodiscard]] protocol::ProtocolConfig campaign_proto_config();
+
 struct RunOptions {
   int nodes = 5;
   int rings = 1;  ///< 1 = single cluster; >1 = RingSet with K rings
@@ -38,7 +46,7 @@ struct RunOptions {
   size_t payload_size = 64;
   simnet::FabricParams fabric = simnet::FabricParams::one_gig();
   harness::ImplProfile profile = harness::ImplProfile::kLibrary;
-  protocol::ProtocolConfig proto = fast_proto_config();
+  protocol::ProtocolConfig proto = campaign_proto_config();
   uint32_t merge_batch = 4;                ///< multi-ring only
   Nanos skip_interval = util::usec(300);   ///< multi-ring only
   bool inject_merge_bug = false;           ///< mutation (multi-ring only)
@@ -53,6 +61,11 @@ struct RunResult {
   /// justified). Not a safety violation — EVS permits spurious view changes —
   /// but the liveness regression adaptive timeouts exist to prevent.
   uint64_t false_ejections = 0;
+  /// Gray-failure quarantine evictions initiated / probations completed
+  /// across all engines. A quarantine of a node no fault degraded is a
+  /// Violation ("healthy member quarantined"), not just a counter.
+  uint64_t quarantines = 0;
+  uint64_t readmits = 0;
   uint64_t client_delivered = 0;  ///< client-level runs: app deliveries
   std::string report;      ///< violations joined, "" when ok
 };
@@ -90,6 +103,8 @@ struct CampaignResult {
   int failures = 0;
   uint64_t delivered = 0;            ///< across all runs
   uint64_t false_ejections = 0;      ///< across all runs (see RunResult)
+  uint64_t quarantines = 0;          ///< across all runs (see RunResult)
+  uint64_t readmits = 0;             ///< across all runs (see RunResult)
   std::vector<FailureCase> cases;    ///< detail for the first failures
   [[nodiscard]] bool ok() const { return failures == 0; }
 };

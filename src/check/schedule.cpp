@@ -179,6 +179,84 @@ Schedule reconnect_storm(uint64_t seed, int nodes, Nanos horizon) {
   return s;
 }
 
+Schedule straggler_cpu(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"straggler_cpu", {}};
+  // One member turns gray: every instruction costs 4-12x. The gray-failure
+  // detector should quarantine it; the oracles verify nobody healthy is
+  // touched and the ring keeps delivering.
+  FaultEvent slow;
+  slow.kind = FaultKind::kCpuMultiplier;
+  slow.at = fault_time(rng, horizon);
+  slow.node = victim(rng, nodes);
+  slow.rate = 4.0 + rng.uniform() * 8.0;
+  s.events.push_back(std::move(slow));
+  return s;
+}
+
+Schedule lossy_nic(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"lossy_nic", {}};
+  // One member's receive path degrades: frames from every sender toward it
+  // drop with probability 0.1-0.35 (an ingress NIC fault, invisible to the
+  // symmetric loss model). The victim keeps requesting retransmissions every
+  // rotation, which is exactly the signature the detector watches.
+  FaultEvent loss;
+  loss.kind = FaultKind::kLinkLoss;
+  loss.at = fault_time(rng, horizon);
+  loss.node = victim(rng, nodes);
+  loss.peer = -1;  // every sender -> victim
+  loss.rate = 0.10 + rng.uniform() * 0.25;
+  s.events.push_back(std::move(loss));
+  return s;
+}
+
+Schedule flapping_link(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"flapping_link", {}};
+  // One directed link flaps down/up 3-6 times. Each down period is short
+  // enough that token-loss recovery usually rides it out; the campaign
+  // verifies ordering safety holds through the churn either way.
+  const int node = victim(rng, nodes);
+  const int peer = (node + 1 + static_cast<int>(rng.range(
+                        0, nodes - 2))) % nodes;
+  const int flaps = static_cast<int>(rng.range(3, 6));
+  for (int i = 0; i < flaps; ++i) {
+    FaultEvent down;
+    down.kind = FaultKind::kLinkDown;
+    down.at = fault_time(rng, horizon);
+    down.node = node;
+    down.peer = peer;
+    down.duration = util::msec(rng.range(2, 12));
+    s.events.push_back(std::move(down));
+  }
+  return s;
+}
+
+Schedule reorder_duplicate(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"reorder_duplicate", {}};
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kReorder;
+    e.at = fault_time(rng, horizon);
+    e.rate = 0.05 + rng.uniform() * 0.20;
+    e.extra_latency = util::usec(rng.range(50, 400));
+    e.duration = util::msec(rng.range(20, 60));
+    s.events.push_back(std::move(e));
+  }
+  if (rng.chance(0.7)) {
+    FaultEvent e;
+    e.kind = FaultKind::kDuplicate;
+    e.at = fault_time(rng, horizon);
+    e.rate = 0.05 + rng.uniform() * 0.15;
+    e.duration = util::msec(rng.range(20, 60));
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
 Schedule mixed(uint64_t seed, int nodes, Nanos horizon) {
   Rng rng(seed);
   Schedule s{"mixed", {}};
@@ -237,6 +315,16 @@ const char* fault_name(FaultKind kind) {
       return "latency_shift";
     case FaultKind::kOverload:
       return "overload";
+    case FaultKind::kCpuMultiplier:
+      return "cpu_multiplier";
+    case FaultKind::kLinkLoss:
+      return "link_loss";
+    case FaultKind::kLinkDown:
+      return "link_down";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kDuplicate:
+      return "duplicate";
   }
   return "?";
 }
@@ -274,6 +362,25 @@ std::string describe(const FaultEvent& event) {
     case FaultKind::kOverload:
       os << " node=" << event.node << " count=" << event.count;
       break;
+    case FaultKind::kCpuMultiplier:
+      os << " node=" << event.node << " x" << event.rate;
+      break;
+    case FaultKind::kLinkLoss:
+      os << " " << event.peer << "->" << event.node << " rate=" << event.rate;
+      break;
+    case FaultKind::kLinkDown:
+      os << " " << event.peer << "->" << event.node << " for "
+         << util::to_msec(event.duration) << "ms";
+      break;
+    case FaultKind::kReorder:
+      os << " rate=" << event.rate << " jitter="
+         << util::to_usec(event.extra_latency) << "us for "
+         << util::to_msec(event.duration) << "ms";
+      break;
+    case FaultKind::kDuplicate:
+      os << " rate=" << event.rate << " for "
+         << util::to_msec(event.duration) << "ms";
+      break;
   }
   return os.str();
 }
@@ -303,6 +410,13 @@ const std::vector<Scenario>& scenarios() {
       {"latency_shift", latency_shift, true},
       {"overload", overload, false, /*client_level=*/true},
       {"reconnect_storm", reconnect_storm, false, /*client_level=*/true},
+      // Gray-failure scenarios (appended, same stability rule as above).
+      // Not multiring-safe: a quarantine eviction legitimately changes ring
+      // membership, which the merged-prefix oracle must not excuse.
+      {"straggler_cpu", straggler_cpu, false},
+      {"lossy_nic", lossy_nic, false},
+      {"flapping_link", flapping_link, false},
+      {"reorder_duplicate", reorder_duplicate, true},
   };
   return kScenarios;
 }

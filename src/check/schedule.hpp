@@ -29,6 +29,11 @@ enum class FaultKind : uint8_t {
   kRestart,       ///< cold-restart `node` (no-op unless it is down)
   kLatencyShift,  ///< add `extra_latency` to every delivery for `duration`
   kOverload,      ///< client fleet: `count` extra sends burst from `node`
+  kCpuMultiplier, ///< scale `node`'s simulated CPU costs by `rate` (1 = heal)
+  kLinkLoss,      ///< drop `rate` of frames on the `peer`->`node` link
+  kLinkDown,      ///< black-hole the `peer`->`node` link for `duration`
+  kReorder,       ///< reorder `rate` of deliveries (up to `extra_latency` late)
+  kDuplicate,     ///< duplicate `rate` of deliveries
 };
 
 [[nodiscard]] const char* fault_name(FaultKind kind);
@@ -41,6 +46,7 @@ struct FaultEvent {
   Nanos duration = 0;      ///< loss-burst length
   uint32_t count = 0;      ///< token datagrams to absorb / burst sends
   Nanos extra_latency = 0; ///< added delivery latency during a shift
+  int peer = -1;           ///< link-fault source host (-1 = any sender)
   std::vector<int> group;  ///< partition members split off
 };
 

@@ -50,6 +50,17 @@ bool DuplicateFilter::seen(uint64_t uuid, uint64_t seq) {
     ++state.floor;
     it = state.above.erase(it);
   }
+  // Compaction: if a hole below keeps the floor pinned and the sparse set
+  // hits its bound, jump the floor over the hole (see kMaxSparse).
+  while (state.above.size() > kMaxSparse) {
+    state.floor = *state.above.begin();
+    state.above.erase(state.above.begin());
+    it = state.above.begin();
+    while (it != state.above.end() && *it == state.floor + 1) {
+      ++state.floor;
+      it = state.above.erase(it);
+    }
+  }
   return false;
 }
 

@@ -57,9 +57,22 @@ struct SessionFrame {
 /// per uuid, a contiguous floor plus a sparse set of seqs above it.
 class DuplicateFilter {
  public:
+  /// Hard bound on the per-uuid sparse set. A seq that never arrives would
+  /// otherwise pin the floor forever and let the set grow without limit (a
+  /// slow leak keyed by whichever client reorders worst). At the cap the
+  /// floor jumps to the smallest sparse element, conceding the gap as
+  /// "seen": suppression stays exact for any reordering window narrower
+  /// than the cap, and memory stays O(kMaxSparse) per session regardless.
+  static constexpr size_t kMaxSparse = 1024;
+
   /// Returns true when (uuid, seq) was seen before (a duplicate).
   bool seen(uint64_t uuid, uint64_t seq);
   [[nodiscard]] uint64_t suppressed() const { return suppressed_; }
+  /// Sparse entries currently held for `uuid` (tests / monitoring).
+  [[nodiscard]] size_t sparse_size(uint64_t uuid) const {
+    const auto it = per_uuid_.find(uuid);
+    return it == per_uuid_.end() ? 0 : it->second.above.size();
+  }
 
  private:
   struct PerUuid {

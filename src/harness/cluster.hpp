@@ -110,6 +110,16 @@ struct ClusterStats {
     for (const auto& s : nodes) n += s.engine.submit_rejected;
     return n;
   }
+  [[nodiscard]] uint64_t quarantines() const {
+    uint64_t n = 0;
+    for (const auto& s : nodes) n += s.engine.quarantines;
+    return n;
+  }
+  [[nodiscard]] uint64_t readmits() const {
+    uint64_t n = 0;
+    for (const auto& s : nodes) n += s.engine.readmits;
+    return n;
+  }
   [[nodiscard]] uint64_t socket_drops() const {
     uint64_t n = 0;
     for (const auto& s : nodes) n += s.socket_drops;

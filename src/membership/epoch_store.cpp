@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "util/log.hpp"
@@ -23,14 +24,29 @@ uint64_t FileEpochStore::load() {
   cached_ = 0;
   FILE* f = std::fopen(path_.c_str(), "r");
   if (f == nullptr) return cached_;  // first boot: no file yet
-  unsigned long long value = 0;
-  if (std::fscanf(f, "%llu", &value) == 1) {
-    cached_ = value;
-  } else {
-    ACCELRING_LOG_WARN(kTag, "garbage in %s, treating as epoch 0",
-                       path_.c_str());
-  }
+  char buf[32];
+  const size_t n = std::fread(buf, 1, sizeof(buf), f);
   std::fclose(f);
+  // Strict format check: store() only ever writes digits + '\n'. Anything
+  // else — a truncated write, filesystem corruption, a stray edit — is
+  // treated as ABSENT, not parsed best-effort: a torn "45" left over from
+  // "4567\n" would otherwise load as a plausible epoch far below the real
+  // floor, which is exactly the stale-ring-id hole this store exists to
+  // close. Absent means log loudly and re-mint from 0; the store must never
+  // stop a daemon from booting.
+  bool valid = n >= 2 && n < sizeof(buf) && buf[n - 1] == '\n';
+  for (size_t i = 0; valid && i + 1 < n; ++i) {
+    valid = buf[i] >= '0' && buf[i] <= '9';
+  }
+  if (!valid) {
+    ACCELRING_LOG_WARN(kTag,
+                       "corrupt epoch file %s (%zu bytes): treating as "
+                       "absent, re-minting from 0",
+                       path_.c_str(), n);
+    return cached_;
+  }
+  buf[n - 1] = '\0';
+  cached_ = std::strtoull(buf, nullptr, 10);
   return cached_;
 }
 

@@ -86,6 +86,7 @@ void Membership::send_join() {
   join.old_ring_id = old_ring_.ring_id;
   join.proc_set = sorted(candidates_);
   join.fail_set = sorted(fail_set_);
+  join.quarantine_set = quarantine_.export_set();
   joins_[engine_.self_] = join;  // we trivially "received" our own join
   engine_.host_.multicast(protocol::kSockData, encode(join));
 }
@@ -93,11 +94,34 @@ void Membership::send_join() {
 void Membership::on_join(const JoinMsg& join) {
   if (engine_.state_ == State::kIdle) return;
   if (join.sender == engine_.self_) return;
+  if (quarantine_.state(join.sender) != QuarantineState::kHealthy) {
+    // A quarantined member's Join is a probe: evidence it is alive and
+    // still wants in. Count it toward the quarantine/probation clock but
+    // stay deaf until the lifecycle lets it through.
+    bool entered_probation = false;
+    const bool still_blocked =
+        quarantine_.filter_probe(join.sender, entered_probation);
+    if (entered_probation) {
+      engine_.trace(util::TraceEvent::kProbation, join.sender);
+      ACCELRING_LOG_INFO(kTag, "p%u: p%u entered probation",
+                         unsigned{engine_.self_}, unsigned{join.sender});
+    }
+    if (still_blocked) return;
+    // Probation served: fall through and treat this as a normal Join.
+  }
   if (join.fail_set.end() !=
       std::find(join.fail_set.begin(), join.fail_set.end(), engine_.self_)) {
     // Someone considers us failed; let them proceed without us. We will
     // merge with their new ring later via foreign-message detection.
     return;
+  }
+  for (const auto& q : join.quarantine_set) {
+    if (q.first == engine_.self_) {
+      // The fleet quarantined *us*. Same posture as being in a fail set:
+      // let them proceed; our own Joins are the probes that will earn
+      // re-admission.
+      return;
+    }
   }
   if (engine_.state_ == State::kCommit || engine_.state_ == State::kRecover) {
     // Membership is already agreed and being installed: defer. Most such
@@ -118,10 +142,33 @@ void Membership::on_join(const JoinMsg& join) {
 
   note_epoch(ring_epoch(join.old_ring_id));
   bool changed = false;
+  // Adopt the sender's quarantine verdicts (the stricter view wins) so a
+  // member that missed the eviction cannot re-admit the victim for everyone.
+  for (const auto& [qpid, qhold] : join.quarantine_set) {
+    if (quarantine_.adopt(qpid, qhold)) {
+      engine_.trace(util::TraceEvent::kQuarantine, qpid, qhold);
+      if (candidates_.erase(qpid) > 0) changed = true;
+    }
+  }
   if (fail_set_.erase(join.sender) > 0) changed = true;  // alive after all
   if (candidates_.insert(join.sender).second) changed = true;
   for (ProcessId p : join.proc_set) {
     if (fail_set_.contains(p)) continue;
+    if (quarantine_.blocked(p)) {
+      // The sender advertises a member we hold in quarantine. Once our own
+      // verdict has aged into probation, a peer that no longer blocks the
+      // member is evidence the fleet released it — release too rather than
+      // deadlock the gather on probe-count drift. A fresh quarantine is
+      // never overridden this way.
+      const bool sender_blocks =
+          std::any_of(join.quarantine_set.begin(), join.quarantine_set.end(),
+                      [p](const auto& q) { return q.first == p; });
+      if (sender_blocks ||
+          quarantine_.state(p) != QuarantineState::kProbation) {
+        continue;  // keep it excluded
+      }
+      quarantine_.release(p);
+    }
     if (candidates_.insert(p).second) changed = true;
   }
   for (ProcessId p : join.fail_set) {
@@ -433,6 +480,24 @@ void Membership::finalize_recovery() {
   eor_received_.clear();
   engine_.state_ = State::kOperational;
   ++engine_.stats_.memberships;
+  for (ProcessId p : engine_.ring_.members) {
+    if (quarantine_.note_installed(p)) {
+      // Count the re-admission once ring-wide, on the lowest-pid peer —
+      // mirroring the acting-member rule for the eviction itself, so one
+      // quarantine lifecycle reads 1 quarantine / 1 readmit in the stats.
+      ProcessId acting = protocol::kNoProcess;
+      for (ProcessId m : engine_.ring_.members) {
+        if (m != p) {
+          acting = m;
+          break;
+        }
+      }
+      if (engine_.self_ == acting) ++engine_.stats_.readmits;
+      engine_.trace(util::TraceEvent::kReadmit, p);
+      ACCELRING_LOG_INFO(kTag, "p%u: re-admitted p%u after probation",
+                         unsigned{engine_.self_}, unsigned{p});
+    }
+  }
   engine_.trace(util::TraceEvent::kViewChange,
                 static_cast<int64_t>(engine_.ring_.ring_id & 0xFFFFFFFF),
                 static_cast<int64_t>(engine_.ring_.size()));
@@ -449,10 +514,14 @@ void Membership::finalize_recovery() {
 // ---------------------------------------------------------------------------
 
 void Membership::on_foreign(ProcessId sender, RingId ring_id) {
-  (void)sender;
   if (engine_.state_ == State::kIdle) return;
   if (ring_id == engine_.ring_.ring_id) return;
   if (stale_rings_.contains(ring_id)) return;
+  if (sender != protocol::kNoProcess && quarantine_.blocked(sender)) {
+    // The quarantined member runs on in its own singleton ring; its data
+    // traffic must not tear the healthy ring down every few milliseconds.
+    return;
+  }
   note_epoch(ring_epoch(ring_id));
   if (engine_.state_ != State::kOperational) {
     // Already reforming membership. Our joins are multicast, so any live
@@ -468,6 +537,29 @@ void Membership::on_foreign(ProcessId sender, RingId ring_id) {
 }
 
 void Membership::on_token_loss() { enter_gather(); }
+
+void Membership::quarantine_evict(ProcessId victim) {
+  if (engine_.state_ != State::kOperational) return;
+  if (engine_.ring_.index_of(victim) < 0 || victim == engine_.self_) return;
+  const uint32_t hold = quarantine_.quarantine(victim);
+  ++engine_.stats_.quarantines;
+  engine_.trace(util::TraceEvent::kQuarantine, victim,
+                static_cast<int64_t>(hold));
+  ACCELRING_LOG_INFO(
+      kTag, "p%u: quarantining gray member p%u (hold %u probes)",
+      unsigned{engine_.self_}, unsigned{victim}, unsigned{hold});
+  // A deliberate membership change: everyone but the victim, victim in the
+  // fail set. keep_candidates preserves exactly this proposal, so the
+  // resulting gather converges on "the old ring minus the gray member"
+  // instead of rediscovering the world from scratch.
+  candidates_.clear();
+  for (ProcessId p : engine_.ring_.members) {
+    if (p != victim) candidates_.insert(p);
+  }
+  fail_set_.clear();
+  fail_set_.insert(victim);
+  enter_gather(/*keep_candidates=*/true);
+}
 
 void Membership::on_timer(protocol::TimerKind kind) {
   switch (kind) {

@@ -34,6 +34,7 @@
 #include <set>
 
 #include "membership/epoch_store.hpp"
+#include "membership/quarantine.hpp"
 #include "protocol/engine.hpp"
 #include "protocol/recv_buffer.hpp"
 #include "protocol/wire.hpp"
@@ -60,7 +61,8 @@ using protocol::SeqNum;
 
 class Membership {
  public:
-  explicit Membership(protocol::Engine& engine) : engine_(engine) {}
+  explicit Membership(protocol::Engine& engine)
+      : engine_(engine), quarantine_(engine.cfg_.gray) {}
 
   /// Static membership (benchmarks): remember `ring` as the installed
   /// configuration without running the algorithm.
@@ -89,6 +91,13 @@ class Membership {
   /// The engine delivered a recovered-flagged message on the new ring.
   void on_recovered_delivery(const DataMsg& msg);
 
+  /// Gray-failure eviction: a deliberate membership change that removes
+  /// `victim` from the ring and places it in quarantine. Distinct from
+  /// timeout ejection — the victim is alive, its Joins will be held off
+  /// until the quarantine/probation lifecycle completes (see
+  /// QuarantineManager). Traced as kQuarantine, not a token-loss gather.
+  void quarantine_evict(ProcessId victim);
+
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] const std::set<ProcessId>& candidates() const {
     return candidates_;
@@ -97,6 +106,10 @@ class Membership {
     return fail_set_;
   }
   [[nodiscard]] uint64_t gathers_started() const { return gathers_started_; }
+  [[nodiscard]] const QuarantineManager& quarantine() const {
+    return quarantine_;
+  }
+  [[nodiscard]] QuarantineManager& quarantine() { return quarantine_; }
 
  private:
   using State = protocol::Engine::State;
@@ -137,6 +150,7 @@ class Membership {
 
   std::set<ProcessId> eor_received_;
   std::set<RingId> stale_rings_;
+  QuarantineManager quarantine_;
 
   uint64_t gathers_started_ = 0;
 };

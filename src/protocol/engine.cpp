@@ -18,7 +18,8 @@ Engine::Engine(ProcessId self, const ProtocolConfig& cfg, Host& host)
       host_(host),
       membership_(std::make_unique<membership::Membership>(*this)),
       flow_(cfg_),
-      timers_(cfg_) {}
+      timers_(cfg_),
+      gray_(self, cfg_.gray) {}
 
 Engine::~Engine() = default;
 
@@ -67,8 +68,13 @@ void Engine::reset_ordering_state() {
   token_high_priority_ = false;
   last_token_sent_.clear();
   timers_.reset();
+  gray_.reset();
   last_token_rx_ = 0;
   host_.cancel_timer(kTimerTokenRetransmit);
+}
+
+const std::vector<ProcessId>& Engine::quarantine_victims() const {
+  return membership_->quarantine().victims();
 }
 
 void Engine::originate_token() {
@@ -225,6 +231,24 @@ void Engine::handle_token(const TokenMsg& received) {
 
   trace(util::TraceEvent::kTokenRx, static_cast<int64_t>(received.round),
         received.seq);
+
+  // Gray-failure scoring: fold in the ring health vector the token carries.
+  // When a member has been suspect past the hysteresis threshold, the acting
+  // member — the lowest-indexed member that is not the victim, so exactly one
+  // process acts and it is never the victim itself — evicts it through a
+  // deliberate membership change instead of forwarding the token.
+  if (cfg_.gray.enabled && state_ == State::kOperational && ring_.size() >= 3) {
+    gray_.observe(received.health);
+    if (const auto victim = gray_.verdict()) {
+      const ProcessId acting =
+          ring_.members[0] == *victim ? ring_.members[1] : ring_.members[0];
+      if (acting == self_) {
+        membership_->quarantine_evict(*victim);
+        return;  // the ring is reforming; the token dies here
+      }
+    }
+  }
+
   TokenMsg token = received;
   if (my_index_ == 0) ++token.round;
   my_round_ = token.round;
@@ -308,6 +332,40 @@ void Engine::handle_token(const TokenMsg& received) {
   stats_.rtr_requested += missing.size();
   token.rtr.insert(token.rtr.end(), missing.begin(), missing.end());
   prev_token_seq_ = received.seq;
+
+  // --- 6b. health stamp: overwrite our entry in the token's health vector.
+  // hold_us is the CPU this process consumed since its previous stamp — one
+  // full rotation of work: the prior post-token flush, every data packet
+  // received and delivered, and this handler up to the previous drain. Wall
+  // clock between token acceptance and here would miss nearly all of that
+  // (sends happen post-token; receive costs accrue between tokens). `work`
+  // normalizes it: a busy healthy member burns CPU because it sends much —
+  // a gray member burns CPU per unit of work.
+  if (cfg_.gray.enabled) {
+    TokenHealth mine;
+    mine.pid = self_;
+    const Nanos cpu_now = host_.cpu_time();
+    const Nanos held = cpu_now - last_cpu_stamp_;
+    last_cpu_stamp_ = cpu_now;
+    mine.hold_us = static_cast<uint32_t>((held + 999) / 1000);
+    mine.work = sent_this_round + 1;  // +1: the token pass itself
+    mine.rtr_count =
+        static_cast<uint16_t>(std::min<size_t>(missing.size(), 0xFFFF));
+    mine.backlog =
+        static_cast<uint16_t>(std::min<size_t>(pending_count(), 0xFFFF));
+    bool stamped = false;
+    for (TokenHealth& e : token.health) {
+      if (e.pid == self_) {
+        e = mine;
+        stamped = true;
+        break;
+      }
+    }
+    if (!stamped) token.health.push_back(mine);
+    std::erase_if(token.health, [this](const TokenHealth& e) {
+      return ring_.index_of(e.pid) < 0;  // departed members
+    });
+  }
 
   // --- 7. pass the token, then flush the post-token queue (§III-A-3) --------
   ++token.token_id;

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "protocol/flow_control.hpp"
+#include "protocol/gray_detector.hpp"
 #include "protocol/recv_buffer.hpp"
 #include "protocol/timeout_estimator.hpp"
 #include "protocol/types.hpp"
@@ -74,6 +75,14 @@ class Host {
   virtual void set_timer(TimerKind kind, Nanos delay) = 0;
   virtual void cancel_timer(TimerKind kind) = 0;
   virtual Nanos now() = 0;
+  /// Cumulative CPU time consumed by this process, for gray-failure
+  /// telemetry: the engine stamps the delta between token rotations into the
+  /// token's health vector. Wall-clock hold time cannot see a slow CPU here —
+  /// with the accelerated window, new messages are multicast *after* the
+  /// token is forwarded. The simulator reads the virtual CPU's busy time; a
+  /// real transport reads CLOCK_THREAD_CPUTIME_ID. The default keeps hosts
+  /// that cannot account CPU inert (hold_us stays 0, never convicted).
+  virtual Nanos cpu_time() { return 0; }
 };
 
 /// Minimal surface every ordering protocol in this repo exposes to a
@@ -102,6 +111,8 @@ struct EngineStats {
   uint64_t token_retransmits = 0;
   uint64_t memberships = 0;      ///< regular configurations installed
   uint64_t submit_rejected = 0;  ///< backpressure at submit()
+  uint64_t quarantines = 0;      ///< gray-failure evictions this engine began
+  uint64_t readmits = 0;         ///< quarantined members re-admitted here
 };
 
 class Engine final : public PacketHandler {
@@ -155,6 +166,13 @@ class Engine final : public PacketHandler {
   [[nodiscard]] const TimeoutEstimator& timeout_estimator() const {
     return timers_;
   }
+  /// Gray-failure detector state (suspect streaks, smoothed unit costs).
+  [[nodiscard]] const GrayFailureDetector& gray_detector() const {
+    return gray_;
+  }
+  /// Every pid this node's membership layer placed in quarantine (local
+  /// verdicts and adopted ones) — the campaign's healthy-member audit.
+  [[nodiscard]] const std::vector<ProcessId>& quarantine_victims() const;
   /// True if this engine has received (or already stably discarded) the
   /// message with sequence number `seq` — used by tests to verify the Safe
   /// delivery (stability) guarantee at the instant of delivery elsewhere.
@@ -227,7 +245,9 @@ class Engine final : public PacketHandler {
   RecvBuffer buffer_;
   FlowControl flow_;
   TimeoutEstimator timers_;
+  GrayFailureDetector gray_;
   Nanos last_token_rx_ = 0;  ///< rotation-time sampling (0 = no prior token)
+  Nanos last_cpu_stamp_ = 0;  ///< Host::cpu_time() at the previous health stamp
   std::deque<PendingMsg> app_queue_;
   std::deque<PendingMsg> recovery_queue_;
 

@@ -87,7 +87,7 @@ std::optional<DataMsg> decode_data(std::span<const std::byte> packet) {
 // --- token -----------------------------------------------------------------
 
 std::vector<std::byte> encode(const TokenMsg& msg) {
-  Writer w(64 + 8 * msg.rtr.size());
+  Writer w(64 + 8 * msg.rtr.size() + 14 * msg.health.size());
   w.u8(static_cast<uint8_t>(PacketType::kToken));
   w.u64(msg.ring_id);
   w.u64(msg.token_id);
@@ -98,6 +98,19 @@ std::vector<std::byte> encode(const TokenMsg& msg) {
   w.u32(msg.fcc);
   w.u32(static_cast<uint32_t>(msg.rtr.size()));
   for (SeqNum s : msg.rtr) w.i64(s);
+  // Health vector: optional trailing section, omitted entirely when empty so
+  // deployments without gray-failure detection emit byte-identical tokens to
+  // older builds (and decoders for those builds still parse ours).
+  if (!msg.health.empty()) {
+    w.u16(static_cast<uint16_t>(msg.health.size()));
+    for (const TokenHealth& h : msg.health) {
+      w.u16(h.pid);
+      w.u32(h.hold_us);
+      w.u32(h.work);
+      w.u16(h.rtr_count);
+      w.u16(h.backlog);
+    }
+  }
   seal(w);
   return std::move(w).take();
 }
@@ -119,6 +132,20 @@ std::optional<TokenMsg> decode_token(std::span<const std::byte> packet) {
   if (static_cast<size_t>(n) * 8 > r.remaining()) return std::nullopt;
   msg.rtr.reserve(n);
   for (uint32_t i = 0; i < n; ++i) msg.rtr.push_back(r.i64());
+  if (r.remaining() > 0) {
+    const uint16_t nh = r.u16();
+    if (static_cast<size_t>(nh) * 14 > r.remaining()) return std::nullopt;
+    msg.health.reserve(nh);
+    for (uint16_t i = 0; i < nh; ++i) {
+      TokenHealth h;
+      h.pid = r.u16();
+      h.hold_us = r.u32();
+      h.work = r.u32();
+      h.rtr_count = r.u16();
+      h.backlog = r.u16();
+      msg.health.push_back(h);
+    }
+  }
   if (!r.done()) return std::nullopt;
   return msg;
 }
@@ -134,6 +161,14 @@ std::vector<std::byte> encode(const JoinMsg& msg) {
   for (ProcessId p : msg.proc_set) w.u16(p);
   w.u16(static_cast<uint16_t>(msg.fail_set.size()));
   for (ProcessId p : msg.fail_set) w.u16(p);
+  // Quarantine set: optional trailing section (see the token health vector).
+  if (!msg.quarantine_set.empty()) {
+    w.u16(static_cast<uint16_t>(msg.quarantine_set.size()));
+    for (const auto& [pid, hold] : msg.quarantine_set) {
+      w.u16(pid);
+      w.u32(hold);
+    }
+  }
   seal(w);
   return std::move(w).take();
 }
@@ -150,6 +185,15 @@ std::optional<JoinMsg> decode_join(std::span<const std::byte> packet) {
   for (uint16_t i = 0; i < np && r.ok(); ++i) msg.proc_set.push_back(r.u16());
   const uint16_t nf = r.u16();
   for (uint16_t i = 0; i < nf && r.ok(); ++i) msg.fail_set.push_back(r.u16());
+  if (r.remaining() > 0) {
+    const uint16_t nq = r.u16();
+    if (static_cast<size_t>(nq) * 6 > r.remaining()) return std::nullopt;
+    for (uint16_t i = 0; i < nq; ++i) {
+      const ProcessId pid = r.u16();
+      const uint32_t hold = r.u32();
+      msg.quarantine_set.emplace_back(pid, hold);
+    }
+  }
   if (!r.done()) return std::nullopt;
   return msg;
 }

@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "protocol/types.hpp"
@@ -62,6 +63,18 @@ struct DataMsg {
 // Token messages (§III-A)
 // ---------------------------------------------------------------------------
 
+/// Per-member health sample piggybacked on the token (gray-failure
+/// telemetry). Each member overwrites its own entry as the token passes, so
+/// after one rotation every member sees a ring-wide health vector at most one
+/// rotation old — no extra datagrams, ~14 bytes per member on the token.
+struct TokenHealth {
+  ProcessId pid = 0;
+  uint32_t hold_us = 0;   ///< token hold time last visit (µs)
+  uint32_t work = 0;      ///< datagrams sent during that hold (normalizer)
+  uint16_t rtr_count = 0; ///< retransmission requests the member added
+  uint16_t backlog = 0;   ///< flow-control backlog (pending new messages)
+};
+
 struct TokenMsg {
   RingId ring_id = 0;
   uint64_t token_id = 0;  ///< hop counter; detects duplicate/retransmitted tokens
@@ -71,6 +84,7 @@ struct TokenMsg {
   ProcessId aru_id = kNoProcess;  ///< who last lowered the aru
   uint32_t fcc = 0;       ///< messages multicast during the last round (field 3)
   std::vector<SeqNum> rtr;  ///< retransmission requests (field 4)
+  std::vector<TokenHealth> health;  ///< ring health vector (one per member)
 };
 
 [[nodiscard]] std::vector<std::byte> encode(const TokenMsg& msg);
@@ -88,6 +102,11 @@ struct JoinMsg {
   std::vector<ProcessId> proc_set;
   /// Processes the sender has explicitly failed (timeouts during gather).
   std::vector<ProcessId> fail_set;
+  /// Processes the sender holds in gray-failure quarantine (with the hold in
+  /// remaining probe rotations). Peers adopt the stricter verdict so a
+  /// quarantined member cannot rejoin through a peer that missed the
+  /// eviction.
+  std::vector<std::pair<ProcessId, uint32_t>> quarantine_set;
 };
 
 [[nodiscard]] std::vector<std::byte> encode(const JoinMsg& msg);

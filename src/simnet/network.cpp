@@ -105,6 +105,22 @@ void Network::forward(int src, int dst, SocketId sock, const Payload& data,
     ++stats_.drops_fault;
     return;
   }
+  if (!link_rules_.empty()) {
+    if (const LinkRule* rule = match_rule(src, dst)) {
+      if (rule->down) {
+        ++stats_.drops_link;
+        return;
+      }
+      if (rule->loss > 0) {
+        for (size_t f = 0; f < frame_count; ++f) {
+          if (rng_.chance(rule->loss)) {
+            ++stats_.drops_link;
+            return;
+          }
+        }
+      }
+    }
+  }
   if (params_.loss_rate > 0) {
     // A multi-fragment datagram is lost if any fragment is lost.
     for (size_t f = 0; f < frame_count; ++f) {
@@ -132,12 +148,88 @@ void Network::forward(int src, int dst, SocketId sock, const Payload& data,
     port_queued_bytes_[dst] -= bytes_on_wire;
   });
 
-  const Nanos delivered =
+  Nanos delivered =
       done + params_.prop_delay + params_.host_rx_latency + extra_latency_;
-  eq_.schedule(delivered, [this, dst, sock, data] {
+  // Reorder: with probability p, hold this datagram back so later traffic can
+  // overtake it. Drawn only when the fault is armed, so pre-existing
+  // scenarios consume an unchanged rng stream.
+  if (reorder_rate_ > 0 && rng_.chance(reorder_rate_)) {
+    delivered += 1 + static_cast<Nanos>(
+                         rng_.below(static_cast<uint64_t>(reorder_jitter_)));
+    ++stats_.reordered;
+  }
+  auto deliver = [this, dst, sock, data] {
     ++stats_.datagrams_delivered;
     if (sinks_[dst]) sinks_[dst](sock, data);
-  });
+  };
+  eq_.schedule(delivered, deliver);
+  if (duplicate_rate_ > 0 && rng_.chance(duplicate_rate_)) {
+    ++stats_.duplicates;
+    // The copy trails the original by a few microseconds to tens of
+    // microseconds — close enough to land inside the same protocol round.
+    eq_.schedule(delivered + 2'000 + static_cast<Nanos>(rng_.below(40'000)),
+                 deliver);
+  }
+}
+
+Network::LinkRule* Network::find_rule(int src, int dst) {
+  for (LinkRule& r : link_rules_) {
+    if (r.src == src && r.dst == dst) return &r;
+  }
+  return nullptr;
+}
+
+const Network::LinkRule* Network::match_rule(int src, int dst) const {
+  // Exact match wins over wildcard; a down rule wins over a loss rule.
+  const LinkRule* best = nullptr;
+  for (const LinkRule& r : link_rules_) {
+    const bool src_ok = r.src == kAnyHost || r.src == src;
+    const bool dst_ok = r.dst == kAnyHost || r.dst == dst;
+    if (!src_ok || !dst_ok) continue;
+    if (best == nullptr || (r.down && !best->down) ||
+        (r.down == best->down && r.loss > best->loss)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+void Network::set_link_loss(int src, int dst, double p) {
+  if (LinkRule* r = find_rule(src, dst)) {
+    r->loss = p;
+    if (p <= 0 && !r->down) {
+      link_rules_.erase(link_rules_.begin() + (r - link_rules_.data()));
+    }
+    return;
+  }
+  if (p <= 0) return;
+  link_rules_.push_back({src, dst, p, false});
+}
+
+void Network::set_link_down(int src, int dst, bool down) {
+  if (LinkRule* r = find_rule(src, dst)) {
+    r->down = down;
+    if (!down && r->loss <= 0) {
+      link_rules_.erase(link_rules_.begin() + (r - link_rules_.data()));
+    }
+    return;
+  }
+  if (!down) return;
+  link_rules_.push_back({src, dst, 0.0, true});
+}
+
+void Network::set_reorder(double p, Nanos max_extra) {
+  reorder_rate_ = p;
+  reorder_jitter_ = max_extra > 0 ? max_extra : 1;
+}
+
+void Network::set_duplicate(double p) { duplicate_rate_ = p; }
+
+void Network::clear_link_faults() {
+  link_rules_.clear();
+  reorder_rate_ = 0.0;
+  reorder_jitter_ = 0;
+  duplicate_rate_ = 0.0;
 }
 
 void Network::set_partition(int host, int id) {

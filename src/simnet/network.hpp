@@ -43,6 +43,9 @@ inline constexpr int kNumSockets = 3;
 /// Destination value meaning "multicast to every other host".
 inline constexpr int kMulticast = -1;
 
+/// Wildcard endpoint for directed-link fault rules ("any host").
+inline constexpr int kAnyHost = -1;
+
 /// Per-frame and fragmentation constants for Ethernet. The default MTU is
 /// the standard 1500 bytes; pass 9000 to model jumbo frames (the paper
 /// deliberately avoids jumbo frames for portability but notes they may
@@ -92,6 +95,9 @@ struct NetworkStats {
   uint64_t drops_buffer = 0;         ///< tail drops at switch output ports
   uint64_t drops_random = 0;         ///< injected random loss
   uint64_t drops_fault = 0;          ///< partition / host-down drops
+  uint64_t drops_link = 0;           ///< directed link-loss / link-down drops
+  uint64_t duplicates = 0;           ///< injected duplicate deliveries
+  uint64_t reordered = 0;            ///< deliveries delayed by reorder fault
   uint64_t wire_bytes = 0;           ///< bytes serialized at sender NICs
 };
 
@@ -138,6 +144,32 @@ class Network {
   void set_host_down(int host, bool down);
   [[nodiscard]] bool host_down(int host) const { return down_[host]; }
 
+  // --- gray-failure primitives (partial degradation, not crash) ------------
+
+  /// Directed (asymmetric) loss on the src->dst link; either endpoint may be
+  /// kAnyHost. `set_link_loss(kAnyHost, h, p)` models a lossy receive NIC at
+  /// `h` (everyone's traffic to h drops, h's own sends are clean) — the
+  /// classic half-broken-transceiver gray failure. Fragment-aware like the
+  /// global loss rate. p = 0 removes the rule.
+  void set_link_loss(int src, int dst, double p);
+
+  /// Directed link cut: src->dst silently drops everything while the reverse
+  /// direction still works (unidirectional link failure). Either endpoint may
+  /// be kAnyHost. Used by the flapping-link scenario, which toggles it.
+  void set_link_down(int src, int dst, bool down);
+
+  /// With probability p, delay a delivery by uniform(1, max_extra] ns —
+  /// packets leapfrog each other (multipath / NIC queue churn).
+  void set_reorder(double p, Nanos max_extra);
+
+  /// With probability p, deliver a second copy of a datagram shortly after
+  /// the first (retransmitting middlebox / flaky switch).
+  void set_duplicate(double p);
+
+  /// Remove every link-loss/link-down rule and disable reorder/duplicate
+  /// (the heal-all path at a campaign horizon).
+  void clear_link_faults();
+
   /// Targeted fault injection: return true to drop this (src, dst, sock,
   /// payload) delivery. Called once per receiver, before buffer/loss checks;
   /// used by tests to lose specific messages at specific hosts.
@@ -146,8 +178,19 @@ class Network {
   void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
 
  private:
+  /// Directed fault rule; kAnyHost endpoints are wildcards.
+  struct LinkRule {
+    int src = kAnyHost;
+    int dst = kAnyHost;
+    double loss = 0.0;
+    bool down = false;
+  };
+
   void forward(int src, int dst, SocketId sock, const Payload& data,
                Nanos arrival, size_t bytes_on_wire, size_t frame_count);
+  [[nodiscard]] LinkRule* find_rule(int src, int dst);
+  /// Strongest rule matching a concrete (src, dst) pair, wildcards included.
+  [[nodiscard]] const LinkRule* match_rule(int src, int dst) const;
 
   EventQueue& eq_;
   FabricParams params_;
@@ -160,6 +203,10 @@ class Network {
   std::vector<int> partition_;
   std::vector<bool> down_;
   Nanos extra_latency_ = 0;
+  std::vector<LinkRule> link_rules_;
+  double reorder_rate_ = 0.0;
+  Nanos reorder_jitter_ = 0;
+  double duplicate_rate_ = 0.0;
   DropFilter drop_filter_;
   NetworkStats stats_;
 };

@@ -66,7 +66,18 @@ class Process {
 
   /// Extend the current handling step by `cost` of CPU time. Only valid while
   /// a sink callback is running.
-  void charge(Nanos cost) { vnow_ += cost; }
+  void charge(Nanos cost) {
+    vnow_ += cpu_mult_ == 1.0
+                 ? cost
+                 : static_cast<Nanos>(static_cast<double>(cost) * cpu_mult_);
+  }
+
+  /// Gray-failure injection: scale every subsequent CPU charge by `m` (>= 0).
+  /// Models a daemon sharing its core with a noisy neighbour, thermal
+  /// throttling, or a debug build — the process stays alive and responsive,
+  /// just slower. 1.0 restores normal speed.
+  void set_cpu_multiplier(double m) { cpu_mult_ = m; }
+  [[nodiscard]] double cpu_multiplier() const { return cpu_mult_; }
 
   /// Virtual current time: inside a handler this includes cost charged so
   /// far, so sends issued mid-handler are stamped correctly.
@@ -109,6 +120,7 @@ class Process {
   std::vector<Timer> timers_;
   std::deque<std::pair<std::function<void()>, Nanos>> tasks_;
   Nanos vnow_ = 0;
+  double cpu_mult_ = 1.0;
   Nanos busy_until_ = 0;
   Nanos busy_time_ = 0;
   bool running_ = false;

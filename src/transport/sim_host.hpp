@@ -77,6 +77,10 @@ class SimHost final : public protocol::Host, public simnet::PacketSink {
   void set_timer(protocol::TimerKind kind, Nanos delay) override;
   void cancel_timer(protocol::TimerKind kind) override;
   Nanos now() override { return proc_.now(); }
+  /// Virtual CPU consumed so far; the gray-failure health stamp reads the
+  /// per-rotation delta. Scales with Process::set_cpu_multiplier, which is
+  /// exactly what makes an injected straggler measurable.
+  Nanos cpu_time() override { return proc_.busy_time(); }
 
   // --- simnet::PacketSink ----------------------------------------------------
   void on_packet(simnet::SocketId sock,

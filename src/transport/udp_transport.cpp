@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <stdexcept>
 
 namespace accelring::transport {
@@ -166,6 +167,12 @@ bool UdpTransport::read_one() {
     }
   }
   return false;
+}
+
+Nanos UdpTransport::cpu_time() {
+  struct timespec ts{};
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<Nanos>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
 }
 
 }  // namespace accelring::transport

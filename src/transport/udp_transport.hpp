@@ -55,6 +55,11 @@ class UdpTransport final : public protocol::Host {
   void set_timer(protocol::TimerKind kind, Nanos delay) override;
   void cancel_timer(protocol::TimerKind kind) override;
   Nanos now() override { return loop_.now(); }
+  /// Thread CPU clock for the gray-failure health stamp: single-threaded, so
+  /// CLOCK_THREAD_CPUTIME_ID is exactly the daemon's protocol-processing
+  /// cost, and a core shared with a noisy neighbour shows up as a higher
+  /// per-rotation delta just like in the simulator.
+  Nanos cpu_time() override;
 
   [[nodiscard]] uint64_t datagrams_sent() const { return sent_; }
   [[nodiscard]] uint64_t datagrams_received() const { return received_; }

@@ -31,6 +31,10 @@ enum class TraceEvent : uint8_t {
   kGatherEnter = 12,   ///< membership gather started: a=candidates, b=gathers
   kViewChange = 13,    ///< EVS config delivered: a=ring id low bits,
                        ///< b=members (negative when transitional)
+  kQuarantine = 14,    ///< gray-failure eviction initiated: a=victim pid,
+                       ///< b=hold (probe rotations before probation)
+  kProbation = 15,     ///< quarantined member entered probation: a=pid
+  kReadmit = 16,       ///< probation completed, member re-admitted: a=pid
 };
 
 struct TraceRecord {

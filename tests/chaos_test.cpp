@@ -228,5 +228,37 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ReconnectStorm,
                            return "seed" + std::to_string(param.param);
                          });
 
+/// Two members turn into CPU stragglers at once. The gray-failure detector
+/// works against the ring *median*, so with 2-of-5 degraded the majority
+/// still anchors the baseline; both stragglers must be quarantined (one
+/// membership change at a time), safety must hold throughout, and the
+/// healthy-member audit inside run_schedule must stay clean.
+class TwoStragglers : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwoStragglers, BothAreQuarantinedAndSafetyHolds) {
+  const uint64_t seed = GetParam();
+  RunOptions opt;  // 5 nodes, 250 ms horizon, gray detection on
+  Schedule schedule;
+  schedule.scenario = "two_stragglers";
+  for (const int node : {1, 3}) {
+    FaultEvent e;
+    e.at = util::msec(40);
+    e.kind = FaultKind::kCpuMultiplier;
+    e.node = node;
+    e.rate = 10.0;
+    schedule.events.push_back(e);
+  }
+  const RunResult res = run_schedule(opt, schedule, seed);
+  EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.report;
+  EXPECT_GE(res.quarantines, 2u) << "seed " << seed;
+  EXPECT_GT(res.delivered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoStragglers,
+                         ::testing::Range<uint64_t>(1, 6),
+                         [](const ::testing::TestParamInfo<uint64_t>& param) {
+                           return "seed" + std::to_string(param.param);
+                         });
+
 }  // namespace
 }  // namespace accelring::check

@@ -50,6 +50,27 @@ TEST(DuplicateFilter, OutOfOrderSeqsStillDeduplicate) {
   EXPECT_FALSE(f.seen(7, 4));
 }
 
+TEST(DuplicateFilter, SparseSetIsBoundedByFloorCompaction) {
+  DuplicateFilter f;
+  // Seq 1 never arrives: the floor stays pinned at 0 while everything above
+  // piles into the sparse set — until the compaction bound kicks in.
+  const uint64_t n = 4 * DuplicateFilter::kMaxSparse;
+  for (uint64_t s = 2; s <= n; ++s) {
+    EXPECT_FALSE(f.seen(9, s));
+    ASSERT_LE(f.sparse_size(9), DuplicateFilter::kMaxSparse)
+        << "sparse set unbounded at seq " << s;
+  }
+  // The floor jumped over the hole: suppression stays exact for everything
+  // actually observed...
+  EXPECT_TRUE(f.seen(9, n));
+  EXPECT_TRUE(f.seen(9, n - 1));
+  // ...and the conceded gap now reads as seen (the documented trade-off).
+  EXPECT_TRUE(f.seen(9, 1));
+  // Recent contiguous arrivals collapsed into the floor entirely.
+  EXPECT_EQ(f.sparse_size(9), 0u);
+  EXPECT_FALSE(f.seen(9, n + 1));
+}
+
 TEST(SessionFrame, RoundTrips) {
   const auto payload = util::to_vector(util::as_bytes("hello"));
   const auto frame = encode_session_frame(0xABCDEF, 42, payload);
@@ -165,6 +186,46 @@ TEST(FileEpochStore, PersistsAcrossReopen) {
   {
     membership::FileEpochStore store(path);
     EXPECT_EQ(store.load(), 7u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileEpochStore, CorruptFileTreatedAsAbsentAndRecoverable) {
+  const std::string path = ::testing::TempDir() + "/accelring_epoch_corrupt";
+  const auto write_raw = [&](const char* bytes, size_t n) {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes, 1, n, f), n);
+    std::fclose(f);
+  };
+  // A torn prefix of a former "4567\n" must NOT load as 45: a silently
+  // lowered epoch floor is the stale-ring-id bug the store exists to close.
+  write_raw("45", 2);
+  {
+    membership::FileEpochStore store(path);
+    EXPECT_EQ(store.load(), 0u);
+  }
+  write_raw("not-a-number\n", 13);
+  {
+    membership::FileEpochStore store(path);
+    EXPECT_EQ(store.load(), 0u);
+  }
+  write_raw("", 0);
+  {
+    membership::FileEpochStore store(path);
+    EXPECT_EQ(store.load(), 0u);
+  }
+  // Round trip: a store that loaded a corrupt file re-mints and persists a
+  // fresh epoch, and the next incarnation reads it back cleanly.
+  write_raw("12garbage\n", 10);
+  {
+    membership::FileEpochStore store(path);
+    EXPECT_EQ(store.load(), 0u);
+    store.store(9);
+  }
+  {
+    membership::FileEpochStore store(path);
+    EXPECT_EQ(store.load(), 9u);
   }
   std::remove(path.c_str());
 }

@@ -129,6 +129,54 @@ TEST(TokenCodec, LargeRtrList) {
   EXPECT_EQ(d->rtr.back(), 1500);
 }
 
+TEST(TokenCodec, HealthVectorRoundTrip) {
+  TokenMsg t = sample_token();
+  for (ProcessId p = 0; p < 3; ++p) {
+    TokenHealth h;
+    h.pid = p;
+    h.hold_us = 100 + p;
+    h.work = 7 * (p + 1);
+    h.rtr_count = static_cast<uint16_t>(p);
+    h.backlog = static_cast<uint16_t>(40 + p);
+    t.health.push_back(h);
+  }
+  const auto d = decode_token(encode(t));
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->health.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(d->health[i].pid, t.health[i].pid);
+    EXPECT_EQ(d->health[i].hold_us, t.health[i].hold_us);
+    EXPECT_EQ(d->health[i].work, t.health[i].work);
+    EXPECT_EQ(d->health[i].rtr_count, t.health[i].rtr_count);
+    EXPECT_EQ(d->health[i].backlog, t.health[i].backlog);
+  }
+}
+
+TEST(TokenCodec, EmptyHealthOmitsTheSection) {
+  // The health vector is an optional trailing section: with no entries the
+  // encoding must be byte-identical to a pre-gray-failure build's token, so
+  // mixed deployments interoperate and gray-disabled benches stay
+  // bit-identical.
+  TokenMsg bare = sample_token();
+  const size_t bare_size = encode(bare).size();
+  TokenMsg with = sample_token();
+  with.health.push_back(TokenHealth{});
+  EXPECT_GT(encode(with).size(), bare_size);
+  const auto d = decode_token(encode(bare));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->health.empty());
+}
+
+TEST(TokenCodec, TruncatedHealthRejected) {
+  TokenMsg t = sample_token();
+  TokenHealth h;
+  h.pid = 2;
+  t.health.assign(4, h);
+  auto bytes = encode(t);
+  bytes.resize(bytes.size() - 10);  // cut into the health entries
+  EXPECT_FALSE(decode_token(bytes).has_value());
+}
+
 TEST(TokenCodec, BogusRtrCountRejected) {
   auto bytes = encode(sample_token());
   // Flip a bit in the CRC so it still fails safely, then check a direct
@@ -158,6 +206,42 @@ TEST(JoinCodec, EmptySetsAllowed) {
   ASSERT_TRUE(d.has_value());
   EXPECT_TRUE(d->proc_set.empty());
   EXPECT_TRUE(d->fail_set.empty());
+}
+
+TEST(JoinCodec, QuarantineSetRoundTrip) {
+  JoinMsg j;
+  j.sender = 4;
+  j.proc_set = {1, 2, 4};
+  j.quarantine_set = {{3, 24}, {9, 96}};
+  const auto d = decode_join(encode(j));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->quarantine_set, j.quarantine_set);
+}
+
+TEST(JoinCodec, EmptyQuarantineSetOmitsTheSection) {
+  // Same optional-trailing-section contract as the token's health vector:
+  // a join with no quarantine verdicts must encode byte-identically to a
+  // pre-gray-failure build's join.
+  JoinMsg bare;
+  bare.sender = 2;
+  bare.proc_set = {1, 2};
+  const size_t bare_size = encode(bare).size();
+  JoinMsg with = bare;
+  with.quarantine_set = {{5, 24}};
+  EXPECT_GT(encode(with).size(), bare_size);
+  const auto d = decode_join(encode(bare));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->quarantine_set.empty());
+}
+
+TEST(JoinCodec, TruncatedQuarantineSetRejected) {
+  JoinMsg j;
+  j.sender = 1;
+  j.proc_set = {1, 2, 3};
+  j.quarantine_set = {{4, 24}, {5, 48}};
+  auto bytes = encode(j);
+  bytes.resize(bytes.size() - 3);  // cut into the quarantine entries
+  EXPECT_FALSE(decode_join(bytes).has_value());
 }
 
 TEST(CommitCodec, RoundTrip) {

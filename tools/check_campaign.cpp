@@ -101,6 +101,8 @@ int main(int argc, char** argv) {
   int failures = 0;
   int runs = 0;
   uint64_t delivered = 0;
+  uint64_t quarantines = 0;
+  uint64_t readmits = 0;
   std::vector<int> ring_counts =
       rings > 0 ? std::vector<int>{rings} : std::vector<int>{1, 4};
   for (int k : ring_counts) {
@@ -109,9 +111,15 @@ int main(int argc, char** argv) {
     failures += result.failures;
     runs += result.runs;
     delivered += result.delivered;
+    quarantines += result.quarantines;
+    readmits += result.readmits;
   }
 
-  std::fprintf(stderr, "check_campaign: %d runs, %llu deliveries, %d failures\n",
-               runs, static_cast<unsigned long long>(delivered), failures);
+  std::fprintf(stderr,
+               "check_campaign: %d runs, %llu deliveries, %llu quarantines "
+               "(%llu readmitted), %d failures\n",
+               runs, static_cast<unsigned long long>(delivered),
+               static_cast<unsigned long long>(quarantines),
+               static_cast<unsigned long long>(readmits), failures);
   return failures == 0 ? 0 : 1;
 }

@@ -36,6 +36,14 @@ configure_and_test build
 echo "=== build: check-fast ==="
 cmake --build build --target check-fast
 
+# Gray-failure acceptance: a 10x CPU straggler must be quarantined and the
+# ring's agreed throughput must recover to >= 80% of the fault-free
+# baseline (the campaign above already audits that no HEALTHY member is
+# ever quarantined; this checks the flip side — the sick one actually is).
+echo "=== build: gray-failure A/B acceptance ==="
+cmake --build build --target fig_gray_failure
+./build/bench/fig_gray_failure
+
 if [[ "${FAST}" == "0" ]]; then
   configure_and_test build-asan -DACCELRING_SANITIZE=address
   configure_and_test build-ubsan -DACCELRING_SANITIZE=undefined
