@@ -9,10 +9,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "harness/sweep.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
 
 namespace accelring::bench {
 
@@ -54,10 +57,98 @@ inline std::string curve_label(ImplProfile profile, Variant variant,
   return label;
 }
 
-/// Run and print the standard 6-curve figure (3 impls x 2 variants).
-inline void run_figure(const char* title, bool ten_gig, Service service,
-                       const std::vector<double>& loads) {
+/// Directory machine-readable artifacts land in: $ACCELRING_BENCH_DIR, or
+/// the working directory when unset.
+inline std::string bench_output_dir() {
+  const char* dir = std::getenv("ACCELRING_BENCH_DIR");
+  return (dir != nullptr && *dir != '\0') ? dir : ".";
+}
+
+/// Serialize one point's scalar fields as a JSON object value.
+inline void append_point(obs::JsonWriter& w, const harness::PointResult& p) {
+  w.begin_object();
+  w.kv("offered_mbps", p.offered_mbps);
+  w.kv("achieved_mbps", p.achieved_mbps);
+  w.kv("messages", p.messages);
+  w.key("latency_ns")
+      .begin_object()
+      .kv("mean", p.mean_latency)
+      .kv("p50", p.p50_latency)
+      .kv("p90", p.p90_latency)
+      .kv("p99", p.p99_latency)
+      .kv("p999", p.p999_latency)
+      .kv("max", p.max_latency)
+      .end_object();
+  w.kv("retransmits", p.retransmits);
+  w.kv("buffer_drops", p.buffer_drops);
+  w.kv("socket_drops", p.socket_drops);
+  w.kv("submit_rejected", p.submit_rejected);
+  w.kv("max_cpu_utilization", p.max_cpu_utilization);
+  w.end_object();
+}
+
+/// Write BENCH_<name>.json and BENCH_<name>.csv into bench_output_dir().
+/// The JSON carries every point's latency quantiles plus, per curve, the
+/// full metric registry of its highest-achieving point (histograms included,
+/// so tools/validate_bench_json.py can reject an instrumentation regression
+/// that leaves them empty). tools/plot_figures.py consumes either format.
+inline void emit_bench_artifacts(const std::string& name,
+                                 const std::vector<Curve>& curves) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", name);
+  w.key("curves").begin_array();
+  std::string csv =
+      "label,offered_mbps,achieved_mbps,messages,mean_us,p50_us,p90_us,"
+      "p99_us,p999_us,max_us,retransmits,drops,cpu\n";
+  for (const Curve& curve : curves) {
+    w.begin_object();
+    w.kv("label", curve.label);
+    w.key("points").begin_array();
+    const harness::PointResult* best = nullptr;
+    for (const harness::PointResult& p : curve.points) {
+      append_point(w, p);
+      if (best == nullptr || p.achieved_mbps > best->achieved_mbps) best = &p;
+      char row[512];
+      std::snprintf(
+          row, sizeof(row),
+          "%s,%.0f,%.1f,%llu,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%llu,%llu,%.3f\n",
+          curve.label.c_str(), p.offered_mbps, p.achieved_mbps,
+          static_cast<unsigned long long>(p.messages),
+          util::to_usec(p.mean_latency), util::to_usec(p.p50_latency),
+          util::to_usec(p.p90_latency), util::to_usec(p.p99_latency),
+          util::to_usec(p.p999_latency), util::to_usec(p.max_latency),
+          static_cast<unsigned long long>(p.retransmits),
+          static_cast<unsigned long long>(p.buffer_drops + p.socket_drops),
+          p.max_cpu_utilization);
+      csv += row;
+    }
+    w.end_array();
+    if (best != nullptr && best->metrics) {
+      w.key("metrics");
+      obs::append_registry(w, *best->metrics);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const std::string base = bench_output_dir() + "/BENCH_" + name;
+  if (!obs::write_text_file(base + ".json", w.str())) {
+    std::fprintf(stderr, "warning: could not write %s.json\n", base.c_str());
+  }
+  if (!obs::write_text_file(base + ".csv", csv)) {
+    std::fprintf(stderr, "warning: could not write %s.csv\n", base.c_str());
+  }
+  std::fprintf(stderr, "artifacts: %s.json %s.csv\n", base.c_str(),
+               base.c_str());
+}
+
+/// Run and print the standard 6-curve figure (3 impls x 2 variants), then
+/// emit BENCH_<name>.{json,csv}.
+inline void run_figure(const char* name, const char* title, bool ten_gig,
+                       Service service, const std::vector<double>& loads) {
   std::printf("==== %s ====\n\n", title);
+  std::vector<Curve> curves;
   for (ImplProfile profile :
        {ImplProfile::kLibrary, ImplProfile::kDaemon, ImplProfile::kSpread}) {
     for (Variant variant : {Variant::kOriginal, Variant::kAccelerated}) {
@@ -66,10 +157,12 @@ inline void run_figure(const char* title, bool ten_gig, Service service,
       pc.proto = harness::bench_protocol(variant);
       pc.service = service;
       pc.payload_size = 1350;
-      harness::print_curve(harness::run_curve(
+      curves.push_back(harness::run_curve(
           curve_label(profile, variant, service, 1350), pc, loads));
+      harness::print_curve(curves.back());
     }
   }
+  emit_bench_artifacts(name, curves);
 }
 
 }  // namespace accelring::bench

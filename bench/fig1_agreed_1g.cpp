@@ -10,7 +10,8 @@
 
 int main() {
   using namespace accelring::bench;
-  run_figure("Figure 1: Agreed delivery latency vs throughput, 1GbE, 1350B",
+  run_figure("fig1_agreed_1g",
+             "Figure 1: Agreed delivery latency vs throughput, 1GbE, 1350B",
              /*ten_gig=*/false, Service::kAgreed, one_gig_loads());
   return 0;
 }

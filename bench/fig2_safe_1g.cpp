@@ -9,7 +9,8 @@
 
 int main() {
   using namespace accelring::bench;
-  run_figure("Figure 2: Safe delivery latency vs throughput, 1GbE, 1350B",
+  run_figure("fig2_safe_1g",
+             "Figure 2: Safe delivery latency vs throughput, 1GbE, 1350B",
              /*ten_gig=*/false, Service::kSafe, one_gig_loads());
   return 0;
 }

@@ -9,7 +9,8 @@
 
 int main() {
   using namespace accelring::bench;
-  run_figure("Figure 3: Agreed delivery latency vs throughput, 10GbE, 1350B",
+  run_figure("fig3_agreed_10g",
+             "Figure 3: Agreed delivery latency vs throughput, 10GbE, 1350B",
              /*ten_gig=*/true, Service::kAgreed, ten_gig_loads());
   return 0;
 }

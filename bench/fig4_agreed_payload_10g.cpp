@@ -13,6 +13,7 @@ int main() {
   std::printf(
       "==== Figure 4: Agreed throughput vs latency, 10GbE, 1350B vs 8850B "
       "====\n\n");
+  std::vector<accelring::harness::Curve> curves;
   for (ImplProfile profile :
        {ImplProfile::kLibrary, ImplProfile::kDaemon, ImplProfile::kSpread}) {
     for (size_t payload : {size_t{1350}, size_t{8850}}) {
@@ -23,11 +24,13 @@ int main() {
       pc.payload_size = payload;
       const auto loads =
           payload > 4000 ? ten_gig_large_loads() : ten_gig_loads();
-      accelring::harness::print_curve(accelring::harness::run_curve(
+      curves.push_back(accelring::harness::run_curve(
           curve_label(profile, Variant::kAccelerated, Service::kAgreed,
                       payload),
           pc, loads));
+      accelring::harness::print_curve(curves.back());
     }
   }
+  emit_bench_artifacts("fig4_agreed_payload_10g", curves);
   return 0;
 }

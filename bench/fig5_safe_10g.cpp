@@ -7,7 +7,8 @@
 
 int main() {
   using namespace accelring::bench;
-  run_figure("Figure 5: Safe delivery latency vs throughput, 10GbE, 1350B",
+  run_figure("fig5_safe_10g",
+             "Figure 5: Safe delivery latency vs throughput, 10GbE, 1350B",
              /*ten_gig=*/true, Service::kSafe, ten_gig_loads());
   return 0;
 }

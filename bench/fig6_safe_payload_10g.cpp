@@ -11,6 +11,7 @@ int main() {
   std::printf(
       "==== Figure 6: Safe throughput vs latency, 10GbE, 1350B vs 8850B "
       "====\n\n");
+  std::vector<accelring::harness::Curve> curves;
   for (ImplProfile profile :
        {ImplProfile::kLibrary, ImplProfile::kDaemon, ImplProfile::kSpread}) {
     for (size_t payload : {size_t{1350}, size_t{8850}}) {
@@ -21,11 +22,13 @@ int main() {
       pc.payload_size = payload;
       const auto loads =
           payload > 4000 ? ten_gig_large_loads() : ten_gig_loads();
-      accelring::harness::print_curve(accelring::harness::run_curve(
+      curves.push_back(accelring::harness::run_curve(
           curve_label(profile, Variant::kAccelerated, Service::kSafe,
                       payload),
           pc, loads));
+      accelring::harness::print_curve(curves.back());
     }
   }
+  emit_bench_artifacts("fig6_safe_payload_10g", curves);
   return 0;
 }

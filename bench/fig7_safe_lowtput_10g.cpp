@@ -17,16 +17,19 @@ int main() {
       "Spread ====\n\n");
   const std::vector<double> loads = {50,  100, 200, 300, 400,
                                      500, 700, 1000};
+  std::vector<accelring::harness::Curve> curves;
   for (Variant variant : {Variant::kOriginal, Variant::kAccelerated}) {
     PointConfig pc = base_point(/*ten_gig=*/true);
     pc.profile = ImplProfile::kSpread;
     pc.proto = accelring::harness::bench_protocol(variant);
     pc.service = Service::kSafe;
     pc.payload_size = 1350;
-    accelring::harness::print_curve(accelring::harness::run_curve(
+    curves.push_back(accelring::harness::run_curve(
         curve_label(ImplProfile::kSpread, variant, Service::kSafe, 1350), pc,
         loads));
+    accelring::harness::print_curve(curves.back());
   }
+  emit_bench_artifacts("fig7_safe_lowtput_10g", curves);
   std::printf(
       "expected shape: original wins below a few hundred Mbps; accelerated "
       "wins beyond ~5%% of fabric capacity\n");

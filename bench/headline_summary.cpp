@@ -16,8 +16,9 @@ namespace {
 using namespace accelring::bench;
 using accelring::harness::PointResult;
 
-void report_max(const char* fabric_name, bool ten_gig, size_t payload,
-                double start, double step, double ceiling) {
+void report_max(std::vector<Curve>& curves, const char* fabric_name,
+                bool ten_gig, size_t payload, double start, double step,
+                double ceiling) {
   std::printf("---- max clean-payload throughput, %s, %zuB ----\n",
               fabric_name, payload);
   std::printf("%-10s %-14s %14s %14s\n", "impl", "protocol", "max_mbps",
@@ -32,6 +33,11 @@ void report_max(const char* fabric_name, bool ten_gig, size_t payload,
       pc.payload_size = payload;
       const PointResult best =
           accelring::harness::find_max_throughput(pc, start, step, ceiling);
+      Curve curve;
+      curve.label = std::string(fabric_name) + " / " +
+                    curve_label(profile, variant, Service::kAgreed, payload);
+      curve.points.push_back(best);
+      curves.push_back(std::move(curve));
       std::printf("%-10s %-14s %14.0f %14.1f\n",
                   accelring::harness::profile_name(profile),
                   variant == Variant::kOriginal ? "original" : "accelerated",
@@ -46,8 +52,10 @@ void report_max(const char* fabric_name, bool ten_gig, size_t payload,
 
 int main() {
   std::printf("==== Headline summary: maximum throughputs ====\n\n");
-  report_max("1GbE", false, 1350, 500, 100, 1000);
-  report_max("10GbE", true, 1350, 1500, 500, 5500);
-  report_max("10GbE", true, 8850, 4000, 500, 8500);
+  std::vector<Curve> curves;
+  report_max(curves, "1GbE", false, 1350, 500, 100, 1000);
+  report_max(curves, "10GbE", true, 1350, 1500, 500, 5500);
+  report_max(curves, "10GbE", true, 8850, 4000, 500, 8500);
+  emit_bench_artifacts("headline_summary", curves);
   return 0;
 }

@@ -1,0 +1,109 @@
+// Observability smoke bench: one quick single-ring point and one quick
+// K=4 multi-ring point, each emitted as BENCH_obs_smoke_*.{json,csv}, plus
+// an on-demand flight-recorder dump of the single-ring run. This is the
+// binary tools/ci.sh's `obs` stage runs and feeds through
+// tools/validate_bench_json.py — it exists to fail CI when instrumentation
+// regresses (empty histograms, missing quantiles, unserializable registry),
+// without paying a full figure sweep.
+#include "bench_common.hpp"
+#include "multiring/measure.hpp"
+#include "obs/flight.hpp"
+
+namespace {
+
+using namespace accelring::bench;
+using accelring::harness::PointResult;
+
+PointConfig smoke_point() {
+  PointConfig pc = base_point(/*ten_gig=*/false);
+  pc.proto = accelring::harness::bench_protocol(Variant::kAccelerated);
+  pc.service = Service::kAgreed;
+  pc.offered_mbps = 300;
+  pc.warmup = accelring::util::msec(50);
+  pc.measure = accelring::util::msec(100);
+  return pc;
+}
+
+/// On-demand (healthy-run) flight dump: re-run the smoke point's cluster
+/// shape briefly and write its black box next to the bench artifacts.
+void dump_healthy_flight() {
+  using accelring::harness::SimCluster;
+  const PointConfig pc = smoke_point();
+  SimCluster cluster(pc.nodes, pc.fabric, pc.proto, pc.profile, pc.seed);
+  cluster.enable_metrics();
+  cluster.start_static();
+  cluster.run_until(accelring::util::msec(20));
+
+  const accelring::obs::MetricsRegistry merged = cluster.merged_metrics();
+  accelring::obs::FlightRecord record;
+  record.scenario = "obs_smoke_healthy";
+  record.seed = pc.seed;
+  record.captured_at = accelring::util::msec(20);
+  record.metrics = &merged;
+  for (int i = 0; i < cluster.size(); ++i) {
+    accelring::obs::FlightNode node;
+    node.name = "node" + std::to_string(i);
+    node.events = cluster.tracer(i).snapshot();
+    record.nodes.push_back(std::move(node));
+  }
+  const std::string path =
+      accelring::obs::dump_flight(record, bench_output_dir());
+  if (path.empty()) {
+    std::fprintf(stderr, "warning: flight dump failed\n");
+  } else {
+    std::fprintf(stderr, "flight record: %s\n", path.c_str());
+  }
+}
+
+/// Adapt a multi-ring result to the single-ring point schema so both smoke
+/// artifacts share one format (and one validator).
+PointResult to_point(const accelring::multiring::MultiPointResult& m) {
+  PointResult p;
+  p.offered_mbps = m.offered_mbps;
+  p.achieved_mbps = m.merged_mbps;
+  p.mean_latency = m.mean_latency;
+  p.p50_latency = m.p50_latency;
+  p.p90_latency = m.p90_latency;
+  p.p99_latency = m.p99_latency;
+  p.p999_latency = m.p999_latency;
+  p.max_latency = m.max_latency;
+  p.messages = m.messages;
+  p.buffer_drops = m.buffer_drops;
+  p.retransmits = m.retransmits;
+  p.submit_rejected = m.submit_rejected;
+  p.max_cpu_utilization = m.max_cpu_utilization;
+  p.metrics = m.metrics;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Observability smoke: 1-ring + 4-ring points ====\n\n");
+
+  Curve single;
+  single.label = "library / accelerated / agreed / 1350B";
+  single.points.push_back(accelring::harness::run_point(smoke_point()));
+  print_curve(single);
+  emit_bench_artifacts("obs_smoke_1ring", {single});
+
+  accelring::multiring::MultiPointConfig mc;
+  mc.ring.rings = 4;
+  mc.ring.nodes_per_ring = 8;
+  mc.ring.fabric = accelring::simnet::FabricParams::ten_gig();
+  mc.ring.proto = accelring::harness::bench_protocol(Variant::kAccelerated);
+  mc.ring.profile = ImplProfile::kLibrary;
+  mc.service = Service::kAgreed;
+  mc.offered_mbps = 2000;
+  mc.streams_per_node = 64;
+  mc.warmup = accelring::util::msec(50);
+  mc.measure = accelring::util::msec(100);
+  Curve multi;
+  multi.label = "K=4 multiring / library / accelerated / agreed / 1350B";
+  multi.points.push_back(to_point(accelring::multiring::run_multiring_point(mc)));
+  print_curve(multi);
+  emit_bench_artifacts("obs_smoke_4ring", {multi});
+
+  dump_healthy_flight();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "check/client_fleet.hpp"
 #include "harness/workload.hpp"
 #include "multiring/ring_set.hpp"
+#include "obs/flight.hpp"
 #include "util/rng.hpp"
 
 namespace accelring::check {
@@ -68,6 +69,10 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
   }
   harness::SimCluster cluster(ropt.nodes, ropt.fabric, ropt.proto,
                               ropt.profile, seed);
+  // Metrics ride along only when a failure would dump them: recording is
+  // perturbation-free (obs_determinism_test), so the verdict is unaffected,
+  // and passing runs skip the registry allocations.
+  if (!ropt.artifact_dir.empty()) cluster.enable_metrics();
   ClusterOracle oracle(ropt.nodes);
   oracle.attach(cluster);
 
@@ -272,6 +277,24 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
   }
   const std::vector<const std::vector<Violation>*> lists = {&res.violations};
   res.report = join_reports(lists);
+  if (!res.ok && !ropt.artifact_dir.empty()) {
+    const obs::MetricsRegistry merged = cluster.merged_metrics();
+    obs::FlightRecord record;
+    record.scenario = schedule.scenario;
+    record.seed = seed;
+    record.captured_at = cluster.eq().now();
+    for (const Violation& v : res.violations) {
+      record.violations.push_back(v.what);
+    }
+    for (int n = 0; n < ropt.nodes; ++n) {
+      obs::FlightNode fn;
+      fn.name = "node" + std::to_string(n);
+      fn.events = cluster.tracer(n).snapshot();
+      record.nodes.push_back(std::move(fn));
+    }
+    record.metrics = &merged;
+    res.artifact_path = obs::dump_flight(record, ropt.artifact_dir);
+  }
   return res;
 }
 
@@ -287,6 +310,8 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
   mcfg.skip_interval = opt.skip_interval;
   mcfg.seed = seed;
   multiring::RingSet rings(mcfg);
+  // Same contract as run_single: metrics only feed the flight recorder.
+  if (!opt.artifact_dir.empty()) rings.enable_metrics();
 
   std::vector<std::unique_ptr<ClusterOracle>> oracles;
   for (int r = 0; r < opt.rings; ++r) {
@@ -469,6 +494,27 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
   for (const Violation& v : merged.violations()) res.violations.push_back(v);
   std::vector<const std::vector<Violation>*> lists = {&res.violations};
   res.report = join_reports(lists);
+  if (!res.ok && !opt.artifact_dir.empty()) {
+    const obs::MetricsRegistry reg = rings.merged_metrics();
+    obs::FlightRecord record;
+    record.scenario = schedule.scenario;
+    record.seed = seed;
+    record.captured_at = rings.eq().now();
+    for (const Violation& v : res.violations) {
+      record.violations.push_back(v.what);
+    }
+    for (int r = 0; r < opt.rings; ++r) {
+      for (int n = 0; n < opt.nodes; ++n) {
+        obs::FlightNode fn;
+        fn.name =
+            "ring" + std::to_string(r) + "/node" + std::to_string(n);
+        fn.events = rings.ring(r).tracer(n).snapshot();
+        record.nodes.push_back(std::move(fn));
+      }
+    }
+    record.metrics = &reg;
+    res.artifact_path = obs::dump_flight(record, opt.artifact_dir);
+  }
   return res;
 }
 
@@ -496,12 +542,16 @@ RunResult run_schedule(const RunOptions& opt, const Schedule& schedule,
 
 Schedule shrink(const RunOptions& opt, const Schedule& schedule,
                 uint64_t seed) {
+  // Candidate runs must not spam artifacts: the failing run already dumped
+  // its black box, and a shrink sweep replays hundreds of near-duplicates.
+  RunOptions quiet = opt;
+  quiet.artifact_dir.clear();
   Schedule best = schedule;
   bool improved = true;
   while (improved && !best.events.empty()) {
     improved = false;
     for (Schedule& cand : shrink_candidates(best)) {
-      if (!run_schedule(opt, cand, seed).ok) {
+      if (!run_schedule(quiet, cand, seed).ok) {
         best = std::move(cand);
         improved = true;
         break;
@@ -553,6 +603,10 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
                    opt.run.rings, describe(schedule).c_str());
       for (const Violation& v : run.violations) {
         std::fprintf(stderr, "  violation: %s\n", v.what.c_str());
+      }
+      if (!run.artifact_path.empty()) {
+        std::fprintf(stderr, "  flight record: %s\n",
+                     run.artifact_path.c_str());
       }
       if (result.cases.size() < 8) {
         FailureCase fc;

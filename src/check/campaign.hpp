@@ -50,6 +50,14 @@ struct RunOptions {
   uint32_t merge_batch = 4;                ///< multi-ring only
   Nanos skip_interval = util::usec(300);   ///< multi-ring only
   bool inject_merge_bug = false;           ///< mutation (multi-ring only)
+  /// When non-empty, a failing run (oracle violation or healthy-member
+  /// quarantine) writes a flight-recorder artifact —
+  /// `<artifact_dir>/<scenario>_<seed>.json` with the violations, each
+  /// node's recent trace events, and a metric snapshot — so a CI failure
+  /// ships its own black box. Metrics are enabled for the run iff this is
+  /// set (recording is perturbation-free, so the verdict cannot change).
+  /// shrink() always runs its candidates with dumping off.
+  std::string artifact_dir;
 };
 
 struct RunResult {
@@ -68,6 +76,9 @@ struct RunResult {
   uint64_t readmits = 0;
   uint64_t client_delivered = 0;  ///< client-level runs: app deliveries
   std::string report;      ///< violations joined, "" when ok
+  /// Flight-recorder artifact written for this run ("" when the run passed,
+  /// artifact_dir was empty, or the write failed).
+  std::string artifact_path;
 };
 
 [[nodiscard]] RunResult run_schedule(const RunOptions& opt,

@@ -4,6 +4,16 @@
 
 namespace accelring::daemon {
 
+DaemonMetrics DaemonMetrics::bind(obs::MetricsRegistry& registry) {
+  DaemonMetrics m;
+  m.queue_depth = &registry.gauge("daemon", "queue_depth");
+  m.enqueue_depth = &registry.histogram("daemon", "enqueue_depth");
+  m.shed = &registry.counter("daemon", "shed");
+  m.slowdowns = &registry.counter("daemon", "slowdowns");
+  m.resumes = &registry.counter("daemon", "resumes");
+  return m;
+}
+
 Daemon::Daemon(protocol::ProcessId pid, protocol::Engine& engine,
                DaemonConfig config)
     : pid_(pid), engine_(engine), config_(config), layer_(pid, engine) {
@@ -47,6 +57,9 @@ ClientId Daemon::connect(Session session) {
 void Daemon::disconnect(ClientId client) {
   const auto it = sessions_.find(client);
   if (it == sessions_.end()) return;
+  if (metrics_.queue_depth != nullptr) {
+    metrics_.queue_depth->add(-static_cast<int64_t>(it->second.queue.size()));
+  }
   layer_.disconnect(client, it->second.session.name);
   sessions_.erase(it);
 }
@@ -87,12 +100,17 @@ bool Daemon::send(ClientId client, const std::vector<std::string>& groups,
 
   if (state.queue.size() >= config_.session_queue_limit) {
     ++stats_.shed;
+    if (metrics_.shed != nullptr) metrics_.shed->inc();
     set_slowed(state, true);
     return false;
   }
   state.queue.push_back(PendingSend{groups, service, std::move(payload)});
   ++stats_.queued_sends;
   stats_.queue_peak = std::max(stats_.queue_peak, state.queue.size());
+  if (metrics_.queue_depth != nullptr) metrics_.queue_depth->add(1);
+  if (metrics_.enqueue_depth != nullptr) {
+    metrics_.enqueue_depth->record(static_cast<int64_t>(state.queue.size()));
+  }
   if (state.queue.size() > config_.session_queue_limit / 2) {
     set_slowed(state, true);
   }
@@ -114,6 +132,7 @@ void Daemon::pump() {
         break;
       }
       state.queue.pop_front();
+      if (metrics_.queue_depth != nullptr) metrics_.queue_depth->add(-1);
       progress = true;
       if (overloaded()) break;
     }
@@ -134,8 +153,10 @@ void Daemon::set_slowed(SessionState& state, bool slowed) {
   state.slowed = slowed;
   if (slowed) {
     ++stats_.slowdowns;
+    if (metrics_.slowdowns != nullptr) metrics_.slowdowns->inc();
   } else {
     ++stats_.resumes;
+    if (metrics_.resumes != nullptr) metrics_.resumes->inc();
   }
   if (state.session.on_flow) state.session.on_flow(slowed);
 }

@@ -27,6 +27,7 @@
 
 #include "daemon/ipc.hpp"
 #include "groups/group_layer.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/engine.hpp"
 
 namespace accelring::daemon {
@@ -66,6 +67,21 @@ struct DaemonStats {
   size_t queue_peak = 0;      ///< high-water mark of any session queue
 };
 
+/// Observation points for the overload-protection path (all optional; see
+/// obs/metrics.hpp for the zero-perturbation contract). queue_depth tracks
+/// total queued sends across sessions with a peak watermark; enqueue_depth
+/// is the distribution of the enqueueing session's queue depth at each
+/// queued send (how deep backpressure typically runs before draining).
+struct DaemonMetrics {
+  obs::Gauge* queue_depth = nullptr;
+  obs::Histogram* enqueue_depth = nullptr;
+  obs::Counter* shed = nullptr;
+  obs::Counter* slowdowns = nullptr;
+  obs::Counter* resumes = nullptr;
+
+  [[nodiscard]] static DaemonMetrics bind(obs::MetricsRegistry& registry);
+};
+
 class Daemon {
  public:
   /// The engine must outlive the daemon. Call attach() on the engine's host
@@ -102,6 +118,8 @@ class Daemon {
   [[nodiscard]] protocol::ProcessId pid() const { return pid_; }
   [[nodiscard]] size_t session_count() const { return sessions_.size(); }
   [[nodiscard]] const DaemonStats& stats() const { return stats_; }
+  /// Attach observation points (see DaemonMetrics).
+  void set_metrics(const DaemonMetrics& metrics) { metrics_ = metrics; }
   /// Queued (not yet submitted) sends for one session; 0 if unknown client.
   [[nodiscard]] size_t queued(ClientId client) const {
     const auto it = sessions_.find(client);
@@ -134,6 +152,7 @@ class Daemon {
   std::map<ClientId, SessionState> sessions_;
   ClientId next_client_ = 1;
   DaemonStats stats_;
+  DaemonMetrics metrics_;
 };
 
 }  // namespace accelring::daemon

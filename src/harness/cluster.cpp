@@ -97,6 +97,7 @@ void SimCluster::wire_node(int i) {
   node.tracer = std::make_unique<util::Tracer>(16384);
   node.engine->set_tracer(node.tracer.get());
   node.engine->set_epoch_store(epoch_stores_[static_cast<size_t>(i)].get());
+  if (metrics_enabled_) attach_metrics(i);
   node.host->bind(*node.engine);
   node.process->set_sink(node.host.get());
   net_.attach(i, [proc = node.process.get()](
@@ -121,6 +122,39 @@ void SimCluster::wire_node(int i) {
     for (const ConfigFn& fn : config_observers_) fn(i, c);
     if (on_config_) on_config_(i, c);
   });
+}
+
+void SimCluster::attach_metrics(int i) {
+  SimNode& node = nodes_[i];
+  node.metrics = std::make_unique<obs::MetricsRegistry>();
+  node.engine->set_metrics(protocol::EngineMetrics::bind(*node.metrics));
+}
+
+void SimCluster::enable_metrics() {
+  if (metrics_enabled_) return;
+  metrics_enabled_ = true;
+  for (int i = 0; i < size(); ++i) attach_metrics(i);
+}
+
+obs::MetricsRegistry SimCluster::merged_metrics() const {
+  obs::MetricsRegistry merged;
+  for (const SimNode& n : retired_) {
+    if (n.metrics) merged.merge_from(*n.metrics);
+  }
+  for (const SimNode& n : nodes_) {
+    if (n.metrics) merged.merge_from(*n.metrics);
+  }
+  // Mirror the cluster-level counters stats() computes, so one registry
+  // export carries the full picture.
+  const ClusterStats s = stats();
+  merged.counter("cluster", "delivered").set(s.delivered_total());
+  merged.counter("cluster", "socket_drops").set(s.socket_drops());
+  merged.counter("cluster", "submit_rejected").set(s.submit_rejected());
+  merged.counter("net", "datagrams_sent").set(s.net.datagrams_sent);
+  merged.counter("net", "wire_bytes").set(s.net.wire_bytes);
+  obs::Gauge& cpu = merged.gauge("cluster", "max_cpu_microutil");
+  cpu.set(static_cast<int64_t>(s.max_cpu_utilization() * 1e6));
+  return merged;
 }
 
 void SimCluster::crash_node(int node) {

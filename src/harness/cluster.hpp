@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "membership/epoch_store.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/engine.hpp"
 #include "simnet/event_queue.hpp"
 #include "simnet/network.hpp"
@@ -67,6 +68,8 @@ struct SimNode {
   std::unique_ptr<transport::SimHost> host;
   std::unique_ptr<protocol::Engine> engine;
   std::unique_ptr<util::Tracer> tracer;
+  /// Present only after SimCluster::enable_metrics() (null otherwise).
+  std::unique_ptr<obs::MetricsRegistry> metrics;
   uint64_t delivered = 0;  ///< application-level deliveries at this node
 };
 
@@ -204,6 +207,20 @@ class SimCluster {
   }
   /// Per-node flight recorder (always attached to the node's engine).
   [[nodiscard]] util::Tracer& tracer(int node) { return *nodes_[node].tracer; }
+
+  /// Attach a per-node MetricsRegistry to every engine (and to every future
+  /// incarnation created by restart_node). Recording never perturbs the run
+  /// (see obs/metrics.hpp); call any time before or during a simulation.
+  void enable_metrics();
+  [[nodiscard]] bool metrics_enabled() const { return metrics_enabled_; }
+  /// Node's registry, or nullptr when metrics are not enabled.
+  [[nodiscard]] obs::MetricsRegistry* metrics(int node) {
+    return nodes_[node].metrics.get();
+  }
+  /// Cluster-wide aggregate: every node's registry merged (current and
+  /// retired incarnations), plus cluster-level counters mirrored from
+  /// stats() — delivery counts, socket drops, and fabric volume.
+  [[nodiscard]] obs::MetricsRegistry merged_metrics() const;
   /// Per-node "disk": the epoch store that survives restart_node, modelling
   /// the on-disk epoch file of a real daemon across a cold restart.
   [[nodiscard]] membership::MemoryEpochStore& epoch_store(int node) {
@@ -226,6 +243,7 @@ class SimCluster {
  private:
   void init(int num_nodes);
   void wire_node(int i);
+  void attach_metrics(int i);
 
   /// Set only when this cluster owns its clock (single-ring constructor);
   /// eq_ references either *owned_eq_ or the caller's shared queue.
@@ -241,6 +259,7 @@ class SimCluster {
   /// simulator events may still reference their process/host/engine).
   std::vector<SimNode> retired_;
   std::vector<int> restarts_;
+  bool metrics_enabled_ = false;
   /// One per node index; deliberately NOT reset by restart_node (it is the
   /// node's disk, and a cold restart keeps the disk).
   std::vector<std::unique_ptr<membership::MemoryEpochStore>> epoch_stores_;

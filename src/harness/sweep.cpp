@@ -8,6 +8,9 @@ namespace accelring::harness {
 PointResult run_point(const PointConfig& config) {
   SimCluster cluster(config.nodes, config.fabric, config.proto,
                      config.profile, config.seed);
+  // Always-on: recording is free of perturbation (obs_determinism_test pins
+  // this), and every bench point then ships its latency histograms.
+  cluster.enable_metrics();
   const Nanos window_start = config.warmup;
   const Nanos window_end = config.warmup + config.measure;
   LatencyRecorder recorder(config.nodes, window_start, window_end);
@@ -36,7 +39,10 @@ PointResult run_point(const PointConfig& config) {
   r.achieved_mbps = sum / config.nodes;
   r.mean_latency = recorder.latency().mean();
   r.p50_latency = recorder.latency().percentile(0.5);
+  r.p90_latency = recorder.latency().percentile(0.90);
   r.p99_latency = recorder.latency().percentile(0.99);
+  r.p999_latency = recorder.latency().percentile(0.999);
+  r.max_latency = recorder.latency().max();
   r.messages = recorder.node_messages(0);
   const ClusterStats stats = cluster.stats();
   r.buffer_drops = stats.net.drops_buffer;
@@ -46,6 +52,14 @@ PointResult run_point(const PointConfig& config) {
   r.token_retransmits = stats.token_retransmits();
   r.submit_rejected = stats.submit_rejected();
   r.max_cpu_utilization = stats.max_cpu_utilization();
+  auto merged =
+      std::make_shared<obs::MetricsRegistry>(cluster.merged_metrics());
+  // Cross-node delivery latency (inject stamp at the sender's client →
+  // client receipt anywhere), the number the paper's figures plot. The
+  // engine-level origin_* histograms cover only own-node delivery.
+  obs::Histogram& dist = merged->histogram("harness", "delivery_latency_ns");
+  for (const Nanos sample : recorder.latency().samples()) dist.record(sample);
+  r.metrics = std::move(merged);
   return r;
 }
 

@@ -51,7 +51,7 @@ void Membership::enter_gather(bool keep_candidates) {
     old_ring_ = engine_.ring_;
     old_safe_line_ = engine_.safe_line_;
   }
-  engine_.state_ = State::kGather;
+  engine_.set_state(State::kGather);
   engine_.host_.cancel_timer(protocol::kTimerTokenRetransmit);
   engine_.host_.cancel_timer(protocol::kTimerTokenLoss);
 
@@ -198,7 +198,7 @@ void Membership::check_consensus() {
     if (!join_matches(p)) return;
   }
   // Consensus: every candidate agrees on (proc_set, fail_set).
-  engine_.state_ = State::kCommit;
+  engine_.set_state(State::kCommit);
   engine_.host_.cancel_timer(protocol::kTimerJoin);
   engine_.host_.set_timer(protocol::kTimerConsensus,
                           engine_.timers_.consensus());
@@ -317,7 +317,7 @@ void Membership::on_commit(const CommitTokenMsg& commit) {
     if (mine_filled) return;  // rotation-0 duplicate
     fill_my_entry(next);
     commit_ = next;
-    engine_.state_ = State::kCommit;
+    engine_.set_state(State::kCommit);
     engine_.host_.cancel_timer(protocol::kTimerJoin);
     engine_.host_.set_timer(protocol::kTimerConsensus,
                             engine_.timers_.consensus());
@@ -360,7 +360,7 @@ void Membership::enter_recover(const CommitTokenMsg& commit) {
   engine_.ring_ = new_ring;
   engine_.my_index_ = new_ring.index_of(engine_.self_);
   engine_.reset_ordering_state();
-  engine_.state_ = State::kRecover;
+  engine_.set_state(State::kRecover);
   engine_.host_.cancel_timer(protocol::kTimerJoin);
   engine_.host_.cancel_timer(protocol::kTimerConsensus);
   engine_.host_.set_timer(protocol::kTimerTokenLoss,
@@ -478,7 +478,7 @@ void Membership::finalize_recovery() {
   old_safe_line_ = 0;
   commit_table_.clear();
   eor_received_.clear();
-  engine_.state_ = State::kOperational;
+  engine_.set_state(State::kOperational);
   ++engine_.stats_.memberships;
   for (ProcessId p : engine_.ring_.members) {
     if (quarantine_.note_installed(p)) {

@@ -62,6 +62,9 @@ class ShardedInjector {
 
 MultiPointResult run_multiring_point(const MultiPointConfig& config) {
   RingSet rings(config.ring);
+  // Always-on, like harness::run_point: recording never perturbs the run
+  // (obs_determinism_test pins this for the multi-ring assembly too).
+  rings.enable_metrics();
   const Nanos window_start = config.warmup;
   const Nanos window_end = config.warmup + config.measure;
 
@@ -92,7 +95,10 @@ MultiPointResult run_multiring_point(const MultiPointConfig& config) {
   r.merged_mbps = sum / static_cast<double>(node_meter.size());
   r.mean_latency = latency.mean();
   r.p50_latency = latency.percentile(0.5);
+  r.p90_latency = latency.percentile(0.90);
   r.p99_latency = latency.percentile(0.99);
+  r.p999_latency = latency.percentile(0.999);
+  r.max_latency = latency.max();
   r.messages = node_meter[0].messages();
   r.skip_msgs = rings.merger(0).stats().skip_msgs;
   const double window_sec = util::to_sec(window_end - window_start);
@@ -107,6 +113,10 @@ MultiPointResult run_multiring_point(const MultiPointConfig& config) {
     r.max_cpu_utilization =
         std::max(r.max_cpu_utilization, cs.max_cpu_utilization());
   }
+  auto merged = std::make_shared<obs::MetricsRegistry>(rings.merged_metrics());
+  obs::Histogram& dist = merged->histogram("harness", "delivery_latency_ns");
+  for (const Nanos sample : latency.samples()) dist.record(sample);
+  r.metrics = std::move(merged);
   return r;
 }
 

@@ -5,6 +5,7 @@
 // so single-ring and multi-ring numbers are directly comparable.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "multiring/ring_set.hpp"
@@ -29,7 +30,10 @@ struct MultiPointResult {
   double merged_mbps = 0;  ///< clean payload through one node's merger (mean)
   Nanos mean_latency = 0;  ///< injection -> merged client receipt
   Nanos p50_latency = 0;
+  Nanos p90_latency = 0;
   Nanos p99_latency = 0;
+  Nanos p999_latency = 0;
+  Nanos max_latency = 0;
   uint64_t messages = 0;         ///< merged messages inside the window (node 0)
   uint64_t skip_msgs = 0;        ///< skips consumed by node 0's merger
   uint64_t retransmits = 0;      ///< data retransmissions, all rings
@@ -37,6 +41,10 @@ struct MultiPointResult {
   uint64_t submit_rejected = 0;  ///< backpressure, all rings
   double max_cpu_utilization = 0;          ///< busiest engine CPU, all rings
   std::vector<double> per_ring_mbps;       ///< ring share of the merged stream
+  /// Aggregate registry: every ring's engine metrics plus every node's merger
+  /// metrics, plus the merged-stream latency histogram under
+  /// ("harness", "delivery_latency_ns"). Mirrors harness::PointResult.
+  std::shared_ptr<const obs::MetricsRegistry> metrics;
 };
 
 /// Run one multi-ring point: K rings, sharded fixed-rate injection, merged

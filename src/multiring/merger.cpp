@@ -31,6 +31,16 @@ std::optional<uint32_t> decode_skip(std::span<const std::byte> payload) {
   return slots;
 }
 
+MergerMetrics MergerMetrics::bind(obs::MetricsRegistry& registry) {
+  MergerMetrics m;
+  m.merge_stall_ns = &registry.histogram("merger", "merge_stall_ns");
+  m.merged = &registry.counter("merger", "merged");
+  m.skip_msgs = &registry.counter("merger", "skip_msgs");
+  m.skipped_slots = &registry.counter("merger", "skipped_slots");
+  m.rotations = &registry.counter("merger", "rotations");
+  return m;
+}
+
 void DeterministicMerger::push(int ring, const protocol::Delivery& delivery) {
   queues_[static_cast<size_t>(ring)].push_back(delivery);
   pump();
@@ -38,6 +48,14 @@ void DeterministicMerger::push(int ring, const protocol::Delivery& delivery) {
 
 void DeterministicMerger::pump() {
   auto* queue = &queues_[static_cast<size_t>(cursor_)];
+  if (!queue->empty() && stall_started_ > 0) {
+    // Head-of-line block resolved: the cursor ring finally ordered something
+    // (a message or a skip) while other rings sat queued behind it.
+    if (metrics_.merge_stall_ns != nullptr && clock_) {
+      metrics_.merge_stall_ns->record(clock_() - stall_started_);
+    }
+    stall_started_ = 0;
+  }
   while (!queue->empty()) {
     const protocol::Delivery d = std::move(queue->front());
     queue->pop_front();
@@ -46,10 +64,15 @@ void DeterministicMerger::pump() {
       ++stats_.skip_msgs;
       stats_.skipped_slots += *slots;
       credit_ += *slots;
+      if (metrics_.skip_msgs != nullptr) metrics_.skip_msgs->inc();
+      if (metrics_.skipped_slots != nullptr) {
+        metrics_.skipped_slots->inc(*slots);
+      }
     } else {
       trace(util::TraceEvent::kMergeDeliver, cursor_, d.seq);
       ++stats_.merged;
       credit_ += 1;
+      if (metrics_.merged != nullptr) metrics_.merged->inc();
       if (on_merged_) on_merged_(cursor_, d);
     }
     if (credit_ >= batch_) {
@@ -58,7 +81,18 @@ void DeterministicMerger::pump() {
       credit_ = 0;
       cursor_ = (cursor_ + 1) % num_rings();
       ++stats_.rotations;
+      if (metrics_.rotations != nullptr) metrics_.rotations->inc();
       queue = &queues_[static_cast<size_t>(cursor_)];
+    }
+  }
+  if (stall_started_ == 0 && metrics_.merge_stall_ns != nullptr && clock_) {
+    // The cursor ring is dry; if any other ring has ordered output waiting,
+    // a stall starts now and ends at the next consumable push.
+    for (const auto& q : queues_) {
+      if (!q.empty()) {
+        stall_started_ = clock_();
+        break;
+      }
     }
   }
 }

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "protocol/types.hpp"
 #include "util/trace.hpp"
 
@@ -42,6 +43,20 @@ struct MergerStats {
   uint64_t rotations = 0;      ///< cursor advances to the next ring
 };
 
+/// Observation points for the merge (all optional; see obs/metrics.hpp for
+/// the zero-perturbation contract). merge_stall_ns measures head-of-line
+/// blocking: how long messages from other rings sat queued while the cursor
+/// ring had nothing ordered — the cost skip messages exist to bound.
+struct MergerMetrics {
+  obs::Histogram* merge_stall_ns = nullptr;
+  obs::Counter* merged = nullptr;
+  obs::Counter* skip_msgs = nullptr;
+  obs::Counter* skipped_slots = nullptr;
+  obs::Counter* rotations = nullptr;
+
+  [[nodiscard]] static MergerMetrics bind(obs::MetricsRegistry& registry);
+};
+
 class DeterministicMerger {
  public:
   /// (ring, delivery) — one merged-stream emission.
@@ -59,6 +74,14 @@ class DeterministicMerger {
   void set_tracer(util::Tracer* tracer, std::function<Nanos()> clock) {
     tracer_ = tracer;
     clock_ = std::move(clock);
+  }
+
+  /// Attach observation points. `clock` supplies stall timestamps; when null
+  /// the tracer clock (if any) is reused.
+  void set_metrics(const MergerMetrics& metrics,
+                   std::function<Nanos()> clock = nullptr) {
+    metrics_ = metrics;
+    if (clock) clock_ = std::move(clock);
   }
 
   /// Feed the next in-order delivery of `ring`; emits every merged message
@@ -91,6 +114,8 @@ class DeterministicMerger {
   util::Tracer* tracer_ = nullptr;
   std::function<Nanos()> clock_;
   MergerStats stats_;
+  MergerMetrics metrics_;
+  Nanos stall_started_ = 0;  ///< 0 = not currently stalled
 };
 
 }  // namespace accelring::multiring

@@ -99,6 +99,26 @@ void RingSet::submit_named(int node, std::string_view name,
   submit(node, shards_.ring_of(name), service, std::move(payload));
 }
 
+void RingSet::enable_metrics() {
+  if (metrics_enabled()) return;
+  for (auto& cluster : clusters_) cluster->enable_metrics();
+  node_metrics_.reserve(mergers_.size());
+  for (auto& merger : mergers_) {
+    node_metrics_.push_back(std::make_unique<obs::MetricsRegistry>());
+    merger->set_metrics(MergerMetrics::bind(*node_metrics_.back()),
+                        [this] { return eq_.now(); });
+  }
+}
+
+obs::MetricsRegistry RingSet::merged_metrics() const {
+  obs::MetricsRegistry merged;
+  for (const auto& cluster : clusters_) {
+    if (cluster->metrics_enabled()) merged.merge_from(cluster->merged_metrics());
+  }
+  for (const auto& reg : node_metrics_) merged.merge_from(*reg);
+  return merged;
+}
+
 std::vector<harness::ClusterStats> RingSet::ring_stats() const {
   std::vector<harness::ClusterStats> out;
   out.reserve(clusters_.size());

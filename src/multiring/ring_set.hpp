@@ -97,6 +97,14 @@ class RingSet {
   /// Per-ring cluster counters (ClusterStats per ring, in ring order).
   [[nodiscard]] std::vector<harness::ClusterStats> ring_stats() const;
 
+  /// Attach metrics to every ring's engines and every node's merger (see
+  /// SimCluster::enable_metrics; recording never perturbs the run).
+  void enable_metrics();
+  [[nodiscard]] bool metrics_enabled() const { return !node_metrics_.empty(); }
+  /// Everything merged: all rings' engine registries plus all nodes' merger
+  /// registries, in one aggregate.
+  [[nodiscard]] obs::MetricsRegistry merged_metrics() const;
+
  private:
   void skip_tick(int ring);
 
@@ -105,6 +113,8 @@ class RingSet {
   ShardMap shards_;
   std::vector<std::unique_ptr<harness::SimCluster>> clusters_;   // per ring
   std::vector<std::unique_ptr<DeterministicMerger>> mergers_;    // per node
+  /// Per-node merger registries; empty until enable_metrics().
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> node_metrics_;
   std::vector<uint64_t> ordered_at_probe_;  ///< per ring: node-0 deliveries
   std::vector<uint64_t> skip_baseline_;     ///< ... at the last skip tick
   Nanos push_at_ = 0;  ///< receipt time of the delivery being merged

@@ -1,0 +1,101 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+namespace accelring::obs {
+
+namespace {
+
+std::string joined(const MetricsRegistry::Key& key) {
+  return key.first + "." + key.second;
+}
+
+void append_histogram(JsonWriter& w, const Histogram& h) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("underflow", h.underflow());
+  w.kv("overflow", h.overflow());
+  w.kv("min", h.min());
+  w.kv("max", h.max());
+  w.kv("mean", h.mean());
+  w.kv("p50", h.quantile(0.50));
+  w.kv("p90", h.quantile(0.90));
+  w.kv("p99", h.quantile(0.99));
+  w.kv("p999", h.quantile(0.999));
+  w.key("buckets").begin_array();
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (h.bucket(i) == 0) continue;
+    w.begin_array().value(i).value(h.bucket(i)).end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void append_registry(JsonWriter& w, const MetricsRegistry& registry) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [key, metric] : registry.counters()) {
+    w.kv(joined(key), metric->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [key, metric] : registry.gauges()) {
+    w.key(joined(key))
+        .begin_object()
+        .kv("value", metric->value())
+        .kv("peak", metric->peak())
+        .end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [key, metric] : registry.histograms()) {
+    w.key(joined(key));
+    append_histogram(w, *metric);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string registry_to_json(const MetricsRegistry& registry) {
+  JsonWriter w;
+  append_registry(w, registry);
+  return std::move(w).take();
+}
+
+std::string registry_to_csv(const MetricsRegistry& registry) {
+  std::string out =
+      "kind,component,name,count,min,mean,p50,p90,p99,p999,max,value\n";
+  char buf[256];
+  for (const auto& [key, metric] : registry.counters()) {
+    std::snprintf(buf, sizeof(buf), "counter,%s,%s,,,,,,,,,%llu\n",
+                  key.first.c_str(), key.second.c_str(),
+                  static_cast<unsigned long long>(metric->value()));
+    out += buf;
+  }
+  for (const auto& [key, metric] : registry.gauges()) {
+    std::snprintf(buf, sizeof(buf), "gauge,%s,%s,,,,,,,,%lld,%lld\n",
+                  key.first.c_str(), key.second.c_str(),
+                  static_cast<long long>(metric->peak()),
+                  static_cast<long long>(metric->value()));
+    out += buf;
+  }
+  for (const auto& [key, metric] : registry.histograms()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "histogram,%s,%s,%llu,%lld,%.1f,%lld,%lld,%lld,%lld,%lld,\n",
+        key.first.c_str(), key.second.c_str(),
+        static_cast<unsigned long long>(metric->count()),
+        static_cast<long long>(metric->min()), metric->mean(),
+        static_cast<long long>(metric->quantile(0.50)),
+        static_cast<long long>(metric->quantile(0.90)),
+        static_cast<long long>(metric->quantile(0.99)),
+        static_cast<long long>(metric->quantile(0.999)),
+        static_cast<long long>(metric->max()));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace accelring::obs

@@ -1,0 +1,111 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+
+namespace accelring::obs {
+
+const char* trace_event_name(util::TraceEvent event) {
+  using util::TraceEvent;
+  switch (event) {
+    case TraceEvent::kTokenRx:
+      return "token_rx";
+    case TraceEvent::kTokenTx:
+      return "token_tx";
+    case TraceEvent::kDataTxPre:
+      return "data_tx_pre";
+    case TraceEvent::kDataTxPost:
+      return "data_tx_post";
+    case TraceEvent::kRetransTx:
+      return "retrans_tx";
+    case TraceEvent::kDataRx:
+      return "data_rx";
+    case TraceEvent::kDeliver:
+      return "deliver";
+    case TraceEvent::kRtrAdd:
+      return "rtr_add";
+    case TraceEvent::kMembership:
+      return "membership";
+    case TraceEvent::kMergeDeliver:
+      return "merge_deliver";
+    case TraceEvent::kSkipMsg:
+      return "skip_msg";
+    case TraceEvent::kGatherEnter:
+      return "gather_enter";
+    case TraceEvent::kViewChange:
+      return "view_change";
+    case TraceEvent::kQuarantine:
+      return "quarantine";
+    case TraceEvent::kProbation:
+      return "probation";
+    case TraceEvent::kReadmit:
+      return "readmit";
+  }
+  return "unknown";
+}
+
+std::string flight_to_json(const FlightRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("scenario", record.scenario);
+  w.kv("seed", record.seed);
+  w.kv("captured_at_ns", record.captured_at);
+  w.key("violations").begin_array();
+  for (const auto& v : record.violations) w.value(v);
+  w.end_array();
+  w.key("nodes").begin_array();
+  for (const auto& node : record.nodes) {
+    w.begin_object();
+    w.kv("name", node.name);
+    w.kv("events_total", static_cast<uint64_t>(node.events.size()));
+    const size_t first = node.events.size() > record.last_n
+                             ? node.events.size() - record.last_n
+                             : 0;
+    w.key("events").begin_array();
+    for (size_t i = first; i < node.events.size(); ++i) {
+      const auto& r = node.events[i];
+      w.begin_object()
+          .kv("at_ns", r.at)
+          .kv("event", trace_event_name(r.event))
+          .kv("a", r.a)
+          .kv("b", r.b)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  if (record.metrics != nullptr) {
+    w.key("metrics");
+    append_registry(w, *record.metrics);
+  }
+  w.end_object();
+  return std::move(w).take();
+}
+
+std::string flight_path(const std::string& dir, const std::string& scenario,
+                        uint64_t seed) {
+  std::string safe;
+  safe.reserve(scenario.size());
+  for (const char c : scenario) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    safe.push_back(ok ? c : '_');
+  }
+  if (safe.empty()) safe = "run";
+  char tail[48];
+  std::snprintf(tail, sizeof(tail), "_%llu.json",
+                static_cast<unsigned long long>(seed));
+  return dir + "/" + safe + tail;
+}
+
+std::string dump_flight(const FlightRecord& record, const std::string& dir) {
+  if (dir.empty()) return "";
+  const std::string path = flight_path(dir, record.scenario, record.seed);
+  if (!write_text_file(path, flight_to_json(record))) return "";
+  return path;
+}
+
+}  // namespace accelring::obs

@@ -1,0 +1,64 @@
+// Failure flight recorder.
+//
+// When a fault campaign's oracle trips (or a healthy member is quarantined),
+// the raw material for diagnosis is already in memory: every node carries a
+// util::Tracer ring of its recent protocol events, and — when metrics are
+// enabled — a registry of counters and latency histograms. A FlightRecord
+// bundles those into one JSON artifact written to
+// `<artifact_dir>/<scenario>_<seed>.json`, so a CI failure ships its own
+// black box instead of a bare seed number. Bench binaries can dump the same
+// record on demand for healthy runs.
+//
+// Artifact layout:
+//   {"scenario": ..., "seed": ..., "captured_at_ns": ...,
+//    "violations": ["..."],
+//    "nodes": [{"name": "ring0/node1",
+//               "events": [{"at_ns":..., "event":"token_rx",
+//                           "a":..., "b":...}, ...]}, ...],
+//    "metrics": {...}}               // registry snapshot, may be absent
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+#include "util/trace.hpp"
+
+namespace accelring::obs {
+
+struct FlightNode {
+  std::string name;  ///< "node2" single-ring, "ring1/node2" multi-ring
+  std::vector<util::TraceRecord> events;
+};
+
+struct FlightRecord {
+  std::string scenario;
+  uint64_t seed = 0;
+  util::Nanos captured_at = 0;
+  std::vector<std::string> violations;  ///< empty for on-demand dumps
+  std::vector<FlightNode> nodes;
+  const MetricsRegistry* metrics = nullptr;  ///< optional, not owned
+
+  /// Per-node cap on serialized events (the most recent kept). The tracer
+  /// ring already bounds memory; this bounds artifact size.
+  size_t last_n = 256;
+};
+
+/// Stable lowercase name for a trace event ("token_rx", "merge_deliver", …).
+[[nodiscard]] const char* trace_event_name(util::TraceEvent event);
+
+[[nodiscard]] std::string flight_to_json(const FlightRecord& record);
+
+/// `<dir>/<scenario>_<seed>.json`, scenario sanitized to [A-Za-z0-9_-].
+[[nodiscard]] std::string flight_path(const std::string& dir,
+                                      const std::string& scenario,
+                                      uint64_t seed);
+
+/// Serialize and write in one step. Returns the path written, or "" on I/O
+/// failure (artifact dumping must never turn a diagnosed failure into a
+/// crash).
+std::string dump_flight(const FlightRecord& record, const std::string& dir);
+
+}  // namespace accelring::obs

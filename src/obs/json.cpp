@@ -1,0 +1,313 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace accelring::obs {
+
+JsonWriter& JsonWriter::open(char c) {
+  if (!after_key_) comma();
+  after_key_ = false;
+  out_.push_back(c);
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::close(char c) {
+  out_.push_back(c);
+  if (!needs_comma_.empty()) needs_comma_.pop_back();
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  return *this;
+}
+
+void JsonWriter::comma() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  needs_comma_.back() = false;  // the value completes this member
+  out_.push_back('"');
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  if (!after_key_) comma();
+  after_key_ = false;
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  out_.push_back('"');
+  out_ += json_escape(s);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  if (!after_key_) comma();
+  after_key_ = false;
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  if (!after_key_) comma();
+  after_key_ = false;
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  char buf[48];
+  // %.10g round-trips every value we emit (latencies, rates) and never
+  // produces inf/nan-free surprises for the magnitudes involved; guard the
+  // non-finite cases explicitly since JSON has no spelling for them.
+  if (v != v || v > 1e300 || v < -1e300) {
+    return value(int64_t{0});
+  }
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  if (!after_key_) comma();
+  after_key_ = false;
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  if (!after_key_) comma();
+  after_key_ = false;
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent validator. `pos` advances past the parsed value.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool document() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  [[nodiscard]] bool value() {
+    if (depth_ > 256 || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  [[nodiscard]] bool object() {
+    ++depth_;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"' || !string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  [[nodiscard]] bool array() {
+    ++depth_;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  [[nodiscard]] bool string() {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !is_hex(text_[pos_])) return false;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!is_digit(peek())) return false;
+    while (is_digit(peek())) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!is_digit(peek())) return false;
+      while (is_digit(peek())) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!is_digit(peek())) return false;
+      while (is_digit(peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  [[nodiscard]] static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+  [[nodiscard]] static bool is_hex(char c) {
+    return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) { return Validator(text).document(); }
+
+bool write_text_file(const std::string& path, std::string_view text) {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) return false;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.close();
+  return out.good();
+}
+
+}  // namespace accelring::obs

@@ -1,0 +1,74 @@
+// Minimal JSON emission (and validation) for observability artifacts.
+//
+// The exporters produce machine-readable files — BENCH_*.json next to every
+// figure binary's stdout, and flight-recorder artifacts on campaign
+// failures — consumed by tools/plot_figures.py and
+// tools/validate_bench_json.py. A third-party JSON library is deliberately
+// avoided: the writer is ~100 lines, emission order is fully under our
+// control (deterministic, so artifacts diff cleanly across runs), and the
+// container ships no such dependency.
+//
+// JsonWriter tracks nesting and comma placement; keys and string values are
+// escaped per RFC 8259. valid() is a strict structural validator used by
+// tests to assert artifacts parse without shelling out to python.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accelring::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Key inside an object; follow with a value or begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] std::string take() && { return std::move(out_); }
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& open(char c);
+  JsonWriter& close(char c);
+  void comma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< per open container
+  bool after_key_ = false;
+};
+
+/// Escape a string for embedding in JSON (no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Strict structural validation of a complete JSON document (objects,
+/// arrays, strings, numbers, true/false/null; UTF-8 passed through).
+[[nodiscard]] bool json_valid(std::string_view text);
+
+/// Write `text` to `path` atomically enough for test artifacts (truncate +
+/// write + close). Returns false on any I/O error. Parent directories are
+/// created as needed.
+[[nodiscard]] bool write_text_file(const std::string& path,
+                                   std::string_view text);
+
+}  // namespace accelring::obs

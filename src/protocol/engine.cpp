@@ -23,6 +23,73 @@ Engine::Engine(ProcessId self, const ProtocolConfig& cfg, Host& host)
 
 Engine::~Engine() = default;
 
+EngineMetrics EngineMetrics::bind(obs::MetricsRegistry& registry) {
+  EngineMetrics m;
+  m.token_rotation_ns = &registry.histogram("protocol", "token_rotation_ns");
+  m.token_hold_cpu_ns = &registry.histogram("protocol", "token_hold_cpu_ns");
+  m.origin_agreed_ns = &registry.histogram("protocol", "origin_agreed_ns");
+  m.origin_safe_ns = &registry.histogram("protocol", "origin_safe_ns");
+  m.view_change_ns = &registry.histogram("membership", "view_change_ns");
+  m.dwell_gather_ns = &registry.histogram("membership", "dwell_gather_ns");
+  m.dwell_commit_ns = &registry.histogram("membership", "dwell_commit_ns");
+  m.dwell_recover_ns = &registry.histogram("membership", "dwell_recover_ns");
+  m.dwell_operational_ns =
+      &registry.histogram("membership", "dwell_operational_ns");
+  m.retrans_answered = &registry.counter("protocol", "retrans_answered");
+  m.retrans_requested = &registry.counter("protocol", "retrans_requested");
+  m.token_retransmits = &registry.counter("protocol", "token_retransmits");
+  return m;
+}
+
+void Engine::set_metrics(const EngineMetrics& metrics) {
+  metrics_ = metrics;
+  if (metrics_.origin_agreed_ns != nullptr ||
+      metrics_.origin_safe_ns != nullptr) {
+    // Power-of-two ring deep enough to outlive any delivery pipeline: seqs
+    // are discarded once safe, which trails the head by at most a couple of
+    // rounds of the global window.
+    origin_stamps_.assign(8192, OriginStamp{});
+  } else {
+    origin_stamps_.clear();
+  }
+}
+
+obs::Histogram* Engine::dwell_for(State s) const {
+  switch (s) {
+    case State::kGather:
+      return metrics_.dwell_gather_ns;
+    case State::kCommit:
+      return metrics_.dwell_commit_ns;
+    case State::kRecover:
+      return metrics_.dwell_recover_ns;
+    case State::kOperational:
+      return metrics_.dwell_operational_ns;
+    case State::kIdle:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void Engine::set_state(State next) {
+  if (next == state_) return;
+  const Nanos at = host_.now();
+  if (obs::Histogram* dwell = dwell_for(state_)) {
+    dwell->record(at - state_entered_);
+  }
+  if (next == State::kGather && view_change_started_ == 0 &&
+      state_ != State::kIdle) {
+    view_change_started_ = at;
+  }
+  if (next == State::kOperational) {
+    if (metrics_.view_change_ns != nullptr && view_change_started_ > 0) {
+      metrics_.view_change_ns->record(at - view_change_started_);
+    }
+    view_change_started_ = 0;
+  }
+  state_ = next;
+  state_entered_ = at;
+}
+
 void Engine::start_with_ring(const RingConfig& ring) {
   assert(state_ == State::kIdle);
   assert(ring.index_of(self_) >= 0);
@@ -45,7 +112,7 @@ void Engine::enter_operational(const RingConfig& ring, bool notify_config) {
   my_index_ = ring_.index_of(self_);
   assert(my_index_ >= 0);
   reset_ordering_state();
-  state_ = State::kOperational;
+  set_state(State::kOperational);
   ++stats_.memberships;
   trace(util::TraceEvent::kMembership,
         static_cast<int64_t>(ring_.ring_id & 0xFFFFFFFF),
@@ -90,7 +157,9 @@ bool Engine::submit(Service service, std::vector<std::byte> payload) {
     ++stats_.submit_rejected;
     return false;
   }
-  app_queue_.push_back(PendingMsg{service, std::move(payload), false});
+  PendingMsg msg{service, std::move(payload), false};
+  msg.submitted_at = host_.now();
+  app_queue_.push_back(std::move(msg));
   return true;
 }
 
@@ -124,6 +193,9 @@ void Engine::on_timer(TimerKind kind) {
       if ((state_ == State::kOperational || state_ == State::kRecover) &&
           !last_token_sent_.empty()) {
         ++stats_.token_retransmits;
+        if (metrics_.token_retransmits != nullptr) {
+          metrics_.token_retransmits->inc();
+        }
         host_.unicast(ring_.successor_of(self_), kSockToken,
                       last_token_sent_);
         host_.set_timer(kTimerTokenRetransmit, cfg_.timeouts.token_retransmit);
@@ -225,6 +297,9 @@ void Engine::handle_token(const TokenMsg& received) {
   const Nanos token_now = host_.now();
   if (state_ == State::kOperational && last_token_rx_ > 0) {
     timers_.sample(token_now - last_token_rx_);
+    if (metrics_.token_rotation_ns != nullptr) {
+      metrics_.token_rotation_ns->record(token_now - last_token_rx_);
+    }
   }
   last_token_rx_ = token_now;
   host_.set_timer(kTimerTokenLoss, timers_.token_loss());
@@ -286,6 +361,10 @@ void Engine::handle_token(const TokenMsg& received) {
     msg.packed = pending->packed;
     msg.header_pad = header_pad_;
     msg.payload = std::move(pending->payload);
+    if (!origin_stamps_.empty() && !pending->recovered) {
+      origin_stamps_[msg.seq % origin_stamps_.size()] =
+          OriginStamp{msg.seq, pending->submitted_at};
+    }
     ++initiated;
     buffer_.insert(msg);  // self-insertion
     post_queue.push_back(std::move(msg));
@@ -330,6 +409,9 @@ void Engine::handle_token(const TokenMsg& received) {
   const auto missing = buffer_.missing_up_to(rtr_bound, token.rtr);
   for (SeqNum seq : missing) trace(util::TraceEvent::kRtrAdd, seq);
   stats_.rtr_requested += missing.size();
+  if (metrics_.retrans_requested != nullptr) {
+    metrics_.retrans_requested->inc(missing.size());
+  }
   token.rtr.insert(token.rtr.end(), missing.begin(), missing.end());
   prev_token_seq_ = received.seq;
 
@@ -341,13 +423,22 @@ void Engine::handle_token(const TokenMsg& received) {
   // (sends happen post-token; receive costs accrue between tokens). `work`
   // normalizes it: a busy healthy member burns CPU because it sends much —
   // a gray member burns CPU per unit of work.
+  Nanos held = 0;
+  if (cfg_.gray.enabled || metrics_.token_hold_cpu_ns != nullptr) {
+    const Nanos cpu_now = host_.cpu_time();
+    held = cpu_now - last_cpu_stamp_;
+    last_cpu_stamp_ = cpu_now;
+    if (metrics_.token_hold_cpu_ns != nullptr) {
+      metrics_.token_hold_cpu_ns->record(held);
+    }
+  }
   if (cfg_.gray.enabled) {
     TokenHealth mine;
     mine.pid = self_;
-    const Nanos cpu_now = host_.cpu_time();
-    const Nanos held = cpu_now - last_cpu_stamp_;
-    last_cpu_stamp_ = cpu_now;
-    mine.hold_us = static_cast<uint32_t>((held + 999) / 1000);
+    // Whole microseconds with the sub-us remainder carried to the next
+    // rotation, so the cumulative stamped total tracks real CPU instead of
+    // drifting up to 1us per rotation (the old per-delta ceil).
+    mine.hold_us = hold_accum_.consume(held);
     mine.work = sent_this_round + 1;  // +1: the token pass itself
     mine.rtr_count =
         static_cast<uint16_t>(std::min<size_t>(missing.size(), 0xFFFF));
@@ -433,6 +524,7 @@ uint32_t Engine::answer_retransmissions(std::vector<SeqNum>& rtr) {
     }
   }
   stats_.retransmitted += sent;
+  if (metrics_.retrans_answered != nullptr) metrics_.retrans_answered->inc(sent);
   rtr = std::move(unanswered);
   return sent;
 }
@@ -460,6 +552,19 @@ void Engine::deliver_ready() {
 }
 
 void Engine::deliver_one(const DataMsg& msg) {
+  // Origination → own-delivery latency: the originator delivers its own
+  // messages through the same total order as everyone else, so this is a
+  // wire-format-free measure of end-to-end ordering latency (cross-node
+  // latency is the harness's job, via the payload stamp).
+  if (msg.pid == self_ && !origin_stamps_.empty()) {
+    const OriginStamp& stamp = origin_stamps_[msg.seq % origin_stamps_.size()];
+    if (stamp.seq == msg.seq) {
+      obs::Histogram* h = requires_safe(msg.service)
+                              ? metrics_.origin_safe_ns
+                              : metrics_.origin_agreed_ns;
+      if (h != nullptr) h->record(host_.now() - stamp.at);
+    }
+  }
   const auto emit = [&](std::vector<std::byte> payload) {
     Delivery delivery;
     delivery.sender = msg.pid;

@@ -21,12 +21,14 @@
 #include <memory>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "protocol/flow_control.hpp"
 #include "protocol/gray_detector.hpp"
 #include "protocol/recv_buffer.hpp"
 #include "protocol/timeout_estimator.hpp"
 #include "protocol/types.hpp"
 #include "protocol/wire.hpp"
+#include "util/stats.hpp"
 #include "util/trace.hpp"
 
 namespace accelring::membership {
@@ -115,6 +117,30 @@ struct EngineStats {
   uint64_t readmits = 0;         ///< quarantined members re-admitted here
 };
 
+/// Observation points the engine records into when attached (all pointers
+/// may be null — unset metrics are simply not recorded). Recording is plain
+/// memory writes against clocks the engine reads anyway, so an attached
+/// registry never perturbs protocol behaviour (pinned by
+/// tests/obs_determinism_test.cpp).
+struct EngineMetrics {
+  obs::Histogram* token_rotation_ns = nullptr;  ///< between accepted tokens
+  obs::Histogram* token_hold_cpu_ns = nullptr;  ///< CPU burned per rotation
+  obs::Histogram* origin_agreed_ns = nullptr;   ///< submit → own delivery
+  obs::Histogram* origin_safe_ns = nullptr;     ///< submit → own delivery
+  obs::Histogram* view_change_ns = nullptr;     ///< gather → operational
+  obs::Histogram* dwell_gather_ns = nullptr;    ///< time per state visit
+  obs::Histogram* dwell_commit_ns = nullptr;
+  obs::Histogram* dwell_recover_ns = nullptr;
+  obs::Histogram* dwell_operational_ns = nullptr;
+  obs::Counter* retrans_answered = nullptr;
+  obs::Counter* retrans_requested = nullptr;
+  obs::Counter* token_retransmits = nullptr;
+
+  /// Intern the full set in `registry` under components "protocol" and
+  /// "membership" and return the bound pointer table.
+  [[nodiscard]] static EngineMetrics bind(obs::MetricsRegistry& registry);
+};
+
 class Engine final : public PacketHandler {
  public:
   /// `self` must be unique across the deployment. The engine starts idle;
@@ -185,6 +211,11 @@ class Engine final : public PacketHandler {
   /// and retransmission requests (see util::TraceEvent).
   void set_tracer(util::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach an observation-point table (see EngineMetrics). The origin
+  /// latency stamp ring is sized here, so no allocation happens later on the
+  /// delivery path.
+  void set_metrics(const EngineMetrics& metrics);
+
   /// Extra zero padding added to every data message this engine initiates,
   /// emulating implementation header overhead (0 for the library prototype,
   /// larger for the daemon and Spread profiles). Affects wire size only.
@@ -204,6 +235,7 @@ class Engine final : public PacketHandler {
     std::vector<std::byte> payload;
     bool recovered = false;  ///< recovery-phase encapsulated message / marker
     bool packed = false;     ///< payload is a sequence of framed messages
+    Nanos submitted_at = 0;  ///< origination timestamp for latency metrics
   };
 
   // --- token handling (§III-A) ---------------------------------------------
@@ -232,6 +264,11 @@ class Engine final : public PacketHandler {
   // --- state shared with membership ----------------------------------------
   void enter_operational(const RingConfig& ring, bool notify_config);
   void reset_ordering_state();
+
+  /// The one write point for state_: records per-state dwell time and the
+  /// gather→operational view-change duration when metrics are attached.
+  void set_state(State next);
+  [[nodiscard]] obs::Histogram* dwell_for(State s) const;
 
   ProcessId self_;
   ProtocolConfig cfg_;
@@ -263,6 +300,21 @@ class Engine final : public PacketHandler {
   uint64_t tune_rounds_ = 0;        ///< rounds since last window adjustment
   uint64_t tune_last_loss_ = 0;     ///< loss counters at last adjustment
   util::Tracer* tracer_ = nullptr;
+
+  EngineMetrics metrics_;
+  /// Remainder-carrying ns→us conversion for the token health stamp: the
+  /// cumulative hold_us reported on the wire equals floor(total_cpu/1us)
+  /// instead of drifting up to 1us per rotation (see util::MicrosAccumulator).
+  util::MicrosAccumulator hold_accum_;
+  /// Seq-indexed ring of origination timestamps for messages this engine
+  /// initiated (sized by set_metrics; empty = origin latency not tracked).
+  struct OriginStamp {
+    SeqNum seq = 0;
+    Nanos at = 0;
+  };
+  std::vector<OriginStamp> origin_stamps_;
+  Nanos state_entered_ = 0;        ///< when state_ last changed
+  Nanos view_change_started_ = 0;  ///< first gather entry of this change
 
   void trace(util::TraceEvent event, int64_t a, int64_t b = 0) {
     if (tracer_ != nullptr) tracer_->record(host_.now(), event, a, b);

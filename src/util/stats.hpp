@@ -32,6 +32,9 @@ class LatencyStats {
   /// "mean=312us p50=298us p99=711us n=52344" — for human-readable reports.
   [[nodiscard]] std::string summary() const;
 
+  /// Raw samples (ordering unspecified: percentile() sorts in place).
+  [[nodiscard]] const std::vector<Nanos>& samples() const { return samples_; }
+
  private:
   mutable std::vector<Nanos> samples_;
   mutable bool sorted_ = false;
@@ -61,5 +64,32 @@ class Meter {
 
 /// Formats nanoseconds as a short human-readable string ("312us", "1.24ms").
 [[nodiscard]] std::string format_nanos(Nanos n);
+
+/// Converts a stream of nanosecond deltas into whole-microsecond installments
+/// without losing sub-microsecond remainders. Each consume() returns the
+/// whole microseconds available after folding in `delta`, carrying the
+/// remainder forward, so the cumulative total returned always equals
+/// floor(sum_of_deltas / 1000). Rounding each delta independently (as the
+/// token hold stamping once did, with ceil) drifts by up to 1us *per call* —
+/// at 50k rotations/s that fabricated tens of milliseconds of phantom CPU
+/// per second, enough to push a healthy node over the gray-failure
+/// threshold. tests/stats_resolution_test.cpp pins the exact totals.
+class MicrosAccumulator {
+ public:
+  [[nodiscard]] uint32_t consume(Nanos delta) {
+    carry_ += delta;
+    if (carry_ < 1000) return 0;
+    const Nanos whole = carry_ / 1000;
+    carry_ -= whole * 1000;
+    return static_cast<uint32_t>(whole);
+  }
+
+  /// Sub-microsecond remainder not yet reported, in [0, 1000).
+  [[nodiscard]] Nanos remainder() const { return carry_; }
+  void clear() { carry_ = 0; }
+
+ private:
+  Nanos carry_ = 0;
+};
 
 }  // namespace accelring::util

@@ -1,0 +1,178 @@
+// Flight recorder: a failing campaign run must leave a parseable black-box
+// artifact naming the violation and carrying each node's recent trace
+// events. Reuses the campaign's injected merge-ordering mutation as the
+// known failure (the same one check_campaign_test proves the oracles catch),
+// so the artifact under test comes from the real failure path, not a
+// hand-built record.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/campaign.hpp"
+#include "check/schedule.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+
+namespace accelring::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Fresh per-test artifact directory under the build tree's cwd.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "flight_test_artifacts";
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(FlightRecorderTest, HandBuiltRecordSerializes) {
+  obs::MetricsRegistry reg;
+  reg.counter("protocol", "retrans_answered").inc(3);
+  reg.histogram("protocol", "token_rotation_ns").record(125000);
+
+  obs::FlightRecord record;
+  record.scenario = "unit";
+  record.seed = 42;
+  record.captured_at = util::msec(5);
+  record.violations.push_back(R"(order "diverged" at node 1)");
+  obs::FlightNode node;
+  node.name = "node0";
+  node.events.push_back(
+      util::TraceRecord{util::usec(10), util::TraceEvent::kTokenRx, 1, 2});
+  node.events.push_back(
+      util::TraceRecord{util::usec(20), util::TraceEvent::kDeliver, 3, 0});
+  record.nodes.push_back(std::move(node));
+  record.metrics = &reg;
+
+  const std::string json = obs::flight_to_json(record);
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("token_rx"), std::string::npos);
+  EXPECT_NE(json.find("deliver"), std::string::npos);
+  // The violation's quotes must have been escaped, not emitted raw.
+  EXPECT_NE(json.find("\\\"diverged\\\""), std::string::npos);
+  EXPECT_NE(json.find("retrans_answered"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, PathSanitizesScenarioName) {
+  EXPECT_EQ(obs::flight_path("d", "loss_bursts", 11),
+            "d/loss_bursts_11.json");
+  EXPECT_EQ(obs::flight_path("d", "evil/../name x", 2),
+            "d/evil____name_x_2.json");
+}
+
+TEST_F(FlightRecorderTest, LastNCapsSerializedEvents) {
+  obs::FlightRecord record;
+  record.scenario = "cap";
+  record.last_n = 4;
+  obs::FlightNode node;
+  node.name = "node0";
+  for (int i = 0; i < 100; ++i) {
+    node.events.push_back(util::TraceRecord{
+        i, util::TraceEvent::kDeliver, static_cast<int64_t>(i), 0});
+  }
+  record.nodes.push_back(std::move(node));
+  const std::string json = obs::flight_to_json(record);
+  EXPECT_TRUE(obs::json_valid(json));
+  // Only the most recent 4 events survive; the count of "at_ns" keys says so.
+  size_t events = 0;
+  for (size_t pos = json.find("\"at_ns\""); pos != std::string::npos;
+       pos = json.find("\"at_ns\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 4u);
+  EXPECT_NE(json.find("\"events_total\":100"), std::string::npos) << json;
+  // The survivors are the newest (96..99), not the oldest.
+  EXPECT_NE(json.find("\"at_ns\":99"), std::string::npos);
+  EXPECT_EQ(json.find("\"at_ns\":5,"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, FailingCampaignRunDumpsArtifact) {
+  RunOptions run;
+  run.nodes = 5;
+  run.rings = 4;
+  run.horizon = util::msec(250);
+  run.drain = util::msec(300);
+  run.inject_merge_bug = true;
+  run.artifact_dir = dir_;
+
+  const Schedule schedule =
+      find_scenario("loss_bursts")->make(11, run.nodes, run.horizon);
+  const RunResult bad = run_schedule(run, schedule, 11);
+  ASSERT_FALSE(bad.ok) << "mutation not caught; artifact path unexercised";
+  ASSERT_FALSE(bad.artifact_path.empty());
+  ASSERT_TRUE(fs::exists(bad.artifact_path)) << bad.artifact_path;
+
+  const std::string json = slurp(bad.artifact_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(obs::json_valid(json));
+  // Names the violation the oracles raised.
+  EXPECT_NE(json.find("diverge"), std::string::npos);
+  EXPECT_NE(json.find("\"loss_bursts\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":11"), std::string::npos);
+  // One trace block per (ring, node), each with events.
+  for (int r = 0; r < run.rings; ++r) {
+    for (int n = 0; n < run.nodes; ++n) {
+      const std::string name =
+          "ring" + std::to_string(r) + "/node" + std::to_string(n);
+      EXPECT_NE(json.find("\"" + name + "\""), std::string::npos) << name;
+    }
+  }
+  EXPECT_NE(json.find("token_rx"), std::string::npos);
+  // Metrics snapshot rode along (metrics are enabled iff artifacts are).
+  EXPECT_NE(json.find("token_rotation_ns"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, PassingRunLeavesNoArtifact) {
+  RunOptions run;
+  run.nodes = 5;
+  run.rings = 4;
+  run.horizon = util::msec(250);
+  run.drain = util::msec(300);
+  run.artifact_dir = dir_;
+
+  const Schedule schedule =
+      find_scenario("loss_bursts")->make(11, run.nodes, run.horizon);
+  const RunResult good = run_schedule(run, schedule, 11);
+  ASSERT_TRUE(good.ok) << good.report;
+  EXPECT_TRUE(good.artifact_path.empty());
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+TEST_F(FlightRecorderTest, ShrinkDoesNotSpamArtifacts) {
+  RunOptions run;
+  run.nodes = 5;
+  run.rings = 4;
+  run.horizon = util::msec(250);
+  run.drain = util::msec(300);
+  run.inject_merge_bug = true;
+  run.artifact_dir = dir_;
+
+  const Schedule schedule =
+      find_scenario("loss_bursts")->make(11, run.nodes, run.horizon);
+  const Schedule minimal = shrink(run, schedule, 11);
+  EXPECT_LE(minimal.events.size(), schedule.events.size());
+  // shrink() replays dozens of failing candidates; none may write artifacts.
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+}  // namespace
+}  // namespace accelring::check

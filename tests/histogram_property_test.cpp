@@ -1,0 +1,176 @@
+// Property tests for the log2 histogram against a sorted-vector oracle:
+// quantile error bounded by the bucket width, merge equivalent to a single
+// combined stream, and exact handling of extrema, zero, negatives
+// (underflow), and the overflow bucket.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace accelring::obs {
+namespace {
+
+/// Exact quantile with the same rank convention as Histogram::quantile
+/// (1-based rank ceil(q*n)).
+int64_t oracle_quantile(std::vector<int64_t> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  if (samples.empty()) return 0;
+  if (q <= 0.0) return samples.front();
+  if (q >= 1.0) return samples.back();
+  const auto n = static_cast<uint64_t>(samples.size());
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (static_cast<double>(rank) < q * static_cast<double>(n)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return samples[rank - 1];
+}
+
+/// Width of the bucket holding `v` — the quantile error bound at `v`.
+int64_t bucket_width(int64_t v) {
+  if (v < 2) return 1;
+  int i = 0;
+  for (uint64_t x = static_cast<uint64_t>(v); x > 1; x >>= 1) ++i;
+  if (i >= Histogram::kBuckets - 1) i = Histogram::kBuckets - 1;
+  return int64_t{1} << i;  // hi - lo for [2^i, 2^(i+1))
+}
+
+void check_against_oracle(const Histogram& h,
+                          const std::vector<int64_t>& samples,
+                          const char* label) {
+  ASSERT_EQ(h.count(), samples.size()) << label;
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const int64_t exact = oracle_quantile(samples, q);
+    const int64_t est = h.quantile(q);
+    // Bounded by the width of the bucket the exact sample falls into (the
+    // estimate can only move within that bucket), and clamped to the true
+    // extrema, so it never leaves the sample range.
+    EXPECT_LE(std::abs(est - exact), bucket_width(exact))
+        << label << " q=" << q << " exact=" << exact << " est=" << est;
+    const int64_t lo = *std::min_element(samples.begin(), samples.end());
+    const int64_t hi = *std::max_element(samples.begin(), samples.end());
+    EXPECT_GE(est, lo) << label << " q=" << q;
+    EXPECT_LE(est, hi) << label << " q=" << q;
+  }
+}
+
+TEST(HistogramProperty, RandomStreamsMatchOracle) {
+  util::Rng rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    Histogram h;
+    std::vector<int64_t> samples;
+    const int n = 1 + static_cast<int>(rng.below(5000));
+    // Mix scales so every round crosses several bucket magnitudes.
+    const uint64_t scale = 1ULL << rng.below(40);
+    for (int i = 0; i < n; ++i) {
+      const auto v = static_cast<int64_t>(rng.below(scale + 1));
+      h.record(v);
+      samples.push_back(v);
+    }
+    check_against_oracle(h, samples, "random");
+    // Exact-extrema invariants.
+    EXPECT_EQ(h.min(), *std::min_element(samples.begin(), samples.end()));
+    EXPECT_EQ(h.max(), *std::max_element(samples.begin(), samples.end()));
+  }
+}
+
+TEST(HistogramProperty, MergeEqualsSingleStream) {
+  util::Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    Histogram parts[4];
+    Histogram whole;
+    std::vector<int64_t> samples;
+    const uint64_t scale = 1ULL << (8 + rng.below(30));
+    for (int i = 0; i < 3000; ++i) {
+      const auto v = static_cast<int64_t>(rng.below(scale));
+      parts[rng.below(4)].record(v);
+      whole.record(v);
+      samples.push_back(v);
+    }
+    Histogram merged;
+    for (const Histogram& p : parts) merged.merge(p);
+    // Merge must equal the single-stream histogram exactly: same buckets,
+    // same extrema, hence identical quantiles — not merely close.
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      ASSERT_EQ(merged.bucket(b), whole.bucket(b)) << "bucket " << b;
+    }
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(merged.quantile(q), whole.quantile(q)) << "q=" << q;
+    }
+    check_against_oracle(merged, samples, "merged");
+  }
+}
+
+TEST(HistogramProperty, ZeroAndOneLandInBucketZero) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1);
+}
+
+TEST(HistogramProperty, NegativesCountAsUnderflow) {
+  Histogram h;
+  h.record(-5);
+  h.record(-1);
+  h.record(10);
+  h.record(20);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.min(), -5);
+  // Ranks 1-2 are the negative samples: quantiles there report min().
+  EXPECT_EQ(h.quantile(0.25), -5);
+  EXPECT_EQ(h.quantile(1.0), 20);
+}
+
+TEST(HistogramProperty, OverflowBucketKeepsExactMax) {
+  Histogram h;
+  const int64_t huge = int64_t{1} << 62;
+  h.record(huge);
+  h.record(huge + 17);
+  h.record(3);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.max(), huge + 17);
+  // Quantiles into the overflow bucket are clamped to the tracked max.
+  EXPECT_LE(h.quantile(0.99), huge + 17);
+  EXPECT_EQ(h.quantile(1.0), huge + 17);
+}
+
+TEST(HistogramProperty, EmptyHistogramIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramProperty, SortedAndReversedStreamsAgree) {
+  // Record order must not matter (pure bucket counts).
+  std::vector<int64_t> samples;
+  util::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    samples.push_back(static_cast<int64_t>(rng.below(1u << 20)));
+  }
+  Histogram fwd;
+  Histogram rev;
+  std::vector<int64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (const int64_t v : sorted) fwd.record(v);
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) rev.record(*it);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(fwd.quantile(q), rev.quantile(q));
+  }
+  check_against_oracle(fwd, samples, "sorted");
+}
+
+}  // namespace
+}  // namespace accelring::obs

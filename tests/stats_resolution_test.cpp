@@ -1,0 +1,90 @@
+// MicrosAccumulator: ns -> whole-us conversion must not lose (or invent)
+// sub-microsecond time. The regression this pins: the token-health stamping
+// once rounded every per-rotation CPU delta up independently
+// ((held + 999) / 1000), fabricating up to 1us of phantom CPU per rotation —
+// tens of milliseconds per second at benchmark rotation rates, enough to
+// skew the gray-failure detector's per-rotation CPU picture. The accumulator
+// instead floors with a carried remainder, so the cumulative total reported
+// always equals floor(total_ns / 1000).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace accelring::util {
+namespace {
+
+TEST(MicrosAccumulator, CumulativeTotalIsExactFloor) {
+  MicrosAccumulator acc;
+  uint64_t reported = 0;
+  Nanos total = 0;
+  // 700ns per step: the old per-call ceil would report 1us every step
+  // (1000us after 1000 steps); the true total is 700000ns = 700us.
+  for (int i = 0; i < 1000; ++i) {
+    reported += acc.consume(700);
+    total += 700;
+  }
+  EXPECT_EQ(reported, static_cast<uint64_t>(total / 1000));
+  EXPECT_EQ(reported, 700u);
+  EXPECT_EQ(acc.remainder(), total % 1000);
+}
+
+TEST(MicrosAccumulator, RandomDeltasNeverDrift) {
+  Rng rng(31337);
+  MicrosAccumulator acc;
+  uint64_t reported = 0;
+  Nanos total = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const Nanos delta = static_cast<Nanos>(rng.below(5000));
+    reported += acc.consume(delta);
+    total += delta;
+    // Invariant at every step, not just at the end.
+    ASSERT_EQ(reported, static_cast<uint64_t>(total / 1000)) << "step " << i;
+  }
+  EXPECT_EQ(acc.remainder(), total % 1000);
+  EXPECT_LT(acc.remainder(), 1000);
+}
+
+TEST(MicrosAccumulator, SubMicrosecondStreamEventuallyReports) {
+  // 999ns deltas: old code reported 1us each call; the accumulator reports
+  // 0 until a whole microsecond has actually elapsed.
+  MicrosAccumulator acc;
+  EXPECT_EQ(acc.consume(999), 0u);
+  EXPECT_EQ(acc.remainder(), 999);
+  EXPECT_EQ(acc.consume(999), 1u);  // 1998ns -> 1us out, 998ns carried
+  EXPECT_EQ(acc.remainder(), 998);
+}
+
+TEST(MicrosAccumulator, LargeDeltaPassesThrough) {
+  MicrosAccumulator acc;
+  EXPECT_EQ(acc.consume(msec(5) + 437), 5000u);
+  EXPECT_EQ(acc.remainder(), 437);
+}
+
+TEST(MicrosAccumulator, ClearDropsCarry) {
+  MicrosAccumulator acc;
+  EXPECT_EQ(acc.consume(999), 0u);
+  acc.clear();
+  EXPECT_EQ(acc.remainder(), 0);
+  EXPECT_EQ(acc.consume(1), 0u);
+}
+
+TEST(MicrosAccumulator, OldCeilBehaviorWouldHaveDrifted) {
+  // Document the magnitude of the bug the accumulator fixes: at 700ns per
+  // rotation, per-call ceil overstates CPU by 300ns/rotation — 30% here.
+  uint64_t old_style = 0;
+  MicrosAccumulator acc;
+  uint64_t fixed = 0;
+  for (int i = 0; i < 10000; ++i) {
+    old_style += (700 + 999) / 1000;  // the removed expression
+    fixed += acc.consume(700);
+  }
+  EXPECT_EQ(old_style, 10000u);
+  EXPECT_EQ(fixed, 7000u);
+}
+
+}  // namespace
+}  // namespace accelring::util

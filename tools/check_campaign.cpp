@@ -10,6 +10,10 @@
 //   check_campaign [--seeds N] [--seed-base S] [--nodes N] [--rings K]
 //                  [--horizon-ms M] [--drain-ms M] [--scenario NAME]
 //                  [--seed-file PATH] [--no-shrink] [--quiet]
+//                  [--artifact-dir DIR | --no-artifacts]
+//
+// Failing runs write a flight-recorder artifact (violations + per-node trace
+// rings + metric snapshot) to --artifact-dir (default: campaign_artifacts).
 //
 // --seed-file points at a corpus file (one integer seed per line, '#'
 // comments) replayed for every scenario in addition to the sweep; see
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
   check::CampaignOptions opt;
   opt.seeds_per_scenario = 200;
   opt.verbose = true;
+  opt.run.artifact_dir = "campaign_artifacts";
   int rings = 0;  // 0 = both single-ring and K=4
 
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +86,10 @@ int main(int argc, char** argv) {
       opt.only.push_back(next());
     } else if (arg == "--seed-file") {
       opt.extra_seeds = load_seed_file(next());
+    } else if (arg == "--artifact-dir") {
+      opt.run.artifact_dir = next();
+    } else if (arg == "--no-artifacts") {
+      opt.run.artifact_dir.clear();
     } else if (arg == "--no-shrink") {
       opt.shrink_failures = false;
     } else if (arg == "--quiet") {

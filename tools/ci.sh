@@ -44,6 +44,21 @@ echo "=== build: gray-failure A/B acceptance ==="
 cmake --build build --target fig_gray_failure
 ./build/bench/fig_gray_failure
 
+# Observability acceptance: the obs smoke bench (one single-ring point and
+# one K=4 multiring point) must emit machine-readable BENCH_*.json whose
+# latency histograms are populated and internally consistent. This is the
+# end-to-end guard that the metrics layer is actually recording — the
+# determinism tests above prove it records without perturbing.
+echo "=== build: obs artifact validation ==="
+cmake --build build --target obs_smoke
+OBS_DIR="build/obs_artifacts"
+rm -rf "${OBS_DIR}"
+mkdir -p "${OBS_DIR}"
+ACCELRING_BENCH_DIR="${OBS_DIR}" ./build/bench/obs_smoke >/dev/null
+python3 tools/validate_bench_json.py \
+  "${OBS_DIR}/BENCH_obs_smoke_1ring.json" \
+  "${OBS_DIR}/BENCH_obs_smoke_4ring.json"
+
 if [[ "${FAST}" == "0" ]]; then
   configure_and_test build-asan -DACCELRING_SANITIZE=address
   configure_and_test build-ubsan -DACCELRING_SANITIZE=undefined

@@ -1,21 +1,41 @@
 #!/usr/bin/env python3
-"""Turn bench_output.txt into per-figure CSV files (and PNGs if matplotlib
+"""Turn bench output into per-figure CSV files (and PNGs if matplotlib
 is available).
 
 Usage:
     ./build/bench/fig1_agreed_1g > out.txt   # or the full bench_output.txt
     tools/plot_figures.py bench_output.txt plots/
+    tools/plot_figures.py BENCH_fig1_agreed_1g.json [more.json ...] plots/
 
-Each `# curve label` block becomes one series; blocks under the same
-`==== Figure N ... ====` heading are grouped into one CSV / one plot with
-achieved throughput (Mbps) on the x axis and mean latency (us, log scale)
-on the y axis — the paper's presentation.
+Two input formats:
+  * the stdout text format — `==== Figure N ... ====` headings with
+    `# curve label` blocks of whitespace-separated rows;
+  * the machine-readable BENCH_*.json artifacts the bench binaries emit
+    (several may be given; each becomes its own figure).
+A `.json` extension selects the JSON parser. Every figure becomes one CSV
+/ one plot with achieved throughput (Mbps) on the x axis and mean latency
+(us, log scale) on the y axis — the paper's presentation.
 """
 
 import csv
+import json
 import os
 import re
 import sys
+
+
+def parse_bench_json(path):
+    """BENCH_*.json -> {bench_name: [(label, [(offered, achieved, mean_us)])]}."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    curves = []
+    for curve in doc.get("curves", []):
+        rows = [(p["offered_mbps"], p["achieved_mbps"],
+                 p["latency_ns"]["mean"] / 1000.0)
+                for p in curve.get("points", [])]
+        if rows:
+            curves.append((curve.get("label", "?"), rows))
+    return {doc.get("bench", os.path.basename(path)): curves} if curves else {}
 
 
 def parse(path):
@@ -84,15 +104,18 @@ def maybe_plot(outdir, title, curves):
 
 
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) < 3:
         print(__doc__)
         return 2
-    src, outdir = sys.argv[1], sys.argv[2]
+    sources, outdir = sys.argv[1:-1], sys.argv[-1]
     os.makedirs(outdir, exist_ok=True)
-    figures = parse(src)
-    if not figures:
-        print("no curves found in", src)
-        return 1
+    figures = {}
+    for src in sources:
+        parsed = parse_bench_json(src) if src.endswith(".json") else parse(src)
+        if not parsed:
+            print("no curves found in", src)
+            return 1
+        figures.update(parsed)
     for title, curves in figures.items():
         csv_path = write_csv(outdir, title, curves)
         png_path = maybe_plot(outdir, title, curves)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts emitted by the bench binaries.
+
+Usage:
+    tools/validate_bench_json.py BENCH_foo.json [BENCH_bar.json ...]
+
+Checks, per file:
+  * parses as JSON with the expected shape ("bench", "curves" -> "points");
+  * every point carries the full latency quantile set with sane ordering
+    (p50 <= p90 <= p99 <= p999 <= max) and non-negative values;
+  * any point that measured messages also measured non-zero latency;
+  * every curve's embedded metric registry holds a populated
+    harness.delivery_latency_ns histogram (the instrumentation-regression
+    guard: an empty histogram means the observability layer silently
+    stopped recording) whose internal accounting is consistent
+    (bucket counts + underflow == count, quantiles ordered, extrema exact).
+
+Exit status 0 when every file passes, 1 otherwise. This is what
+tools/ci.sh's `obs` stage runs against the obs_smoke artifacts.
+"""
+
+import json
+import sys
+
+QUANTS = ["p50", "p90", "p99", "p999"]
+
+
+class Failure(Exception):
+    pass
+
+
+def check(cond, msg):
+    if not cond:
+        raise Failure(msg)
+
+
+def check_quantile_order(obj, where):
+    values = [obj[q] for q in QUANTS] + [obj["max"]]
+    for a, b, qa, qb in zip(values, values[1:], QUANTS, QUANTS[1:] + ["max"]):
+        check(a <= b, f"{where}: {qa}={a} > {qb}={b}")
+    for q in QUANTS + ["max"]:
+        check(obj[q] >= 0, f"{where}: {q} negative")
+
+
+def check_point(point, where):
+    for field in ("offered_mbps", "achieved_mbps", "messages", "latency_ns"):
+        check(field in point, f"{where}: missing {field}")
+    lat = point["latency_ns"]
+    for q in ["mean"] + QUANTS + ["max"]:
+        check(q in lat, f"{where}: latency_ns missing {q}")
+    check_quantile_order(lat, f"{where}: latency_ns")
+    if point["messages"] > 0:
+        check(lat["max"] > 0,
+              f"{where}: {point['messages']} messages but zero max latency")
+
+
+def check_histogram(name, hist, where):
+    for field in ("count", "underflow", "min", "max", "buckets") + tuple(QUANTS):
+        check(field in hist, f"{where}: {name} missing {field}")
+    bucket_total = sum(n for _, n in hist["buckets"])
+    check(bucket_total + hist["underflow"] == hist["count"],
+          f"{where}: {name} buckets+underflow={bucket_total + hist['underflow']}"
+          f" != count={hist['count']}")
+    if hist["count"] > 0:
+        check_quantile_order(hist, f"{where}: {name}")
+        check(hist["min"] <= hist["p50"] <= hist["max"],
+              f"{where}: {name} quantiles outside [min, max]")
+
+
+def check_curve(curve, where):
+    check(isinstance(curve.get("label"), str), f"{where}: missing label")
+    points = curve.get("points")
+    check(isinstance(points, list) and points, f"{where}: no points")
+    for i, point in enumerate(points):
+        check_point(point, f"{where} point {i}")
+    metrics = curve.get("metrics")
+    if metrics is None:
+        return
+    hists = metrics.get("histograms", {})
+    check(hists, f"{where}: metrics present but no histograms")
+    populated = [n for n, h in hists.items() if h.get("count", 0) > 0]
+    check(populated, f"{where}: every histogram is empty "
+                     "(instrumentation regression)")
+    delivery = hists.get("harness.delivery_latency_ns")
+    check(delivery is not None,
+          f"{where}: missing harness.delivery_latency_ns histogram")
+    check(delivery["count"] > 0,
+          f"{where}: harness.delivery_latency_ns is empty")
+    for name, hist in hists.items():
+        check_histogram(name, hist, where)
+
+
+def validate(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    check(isinstance(doc.get("bench"), str), "missing bench name")
+    curves = doc.get("curves")
+    check(isinstance(curves, list) and curves, "no curves")
+    for curve in curves:
+        check_curve(curve, f"curve '{curve.get('label', '?')}'")
+    return len(curves)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    failures = 0
+    for path in sys.argv[1:]:
+        try:
+            n = validate(path)
+            print(f"ok {path} ({n} curves)")
+        except (Failure, json.JSONDecodeError, OSError, KeyError,
+                TypeError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
