@@ -7,7 +7,9 @@
 #include <set>
 
 #include "check/client_fleet.hpp"
+#include "check/kv_oracle.hpp"
 #include "harness/workload.hpp"
+#include "kv/workload.hpp"
 #include "multiring/ring_set.hpp"
 #include "obs/flight.hpp"
 #include "util/rng.hpp"
@@ -298,6 +300,139 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
   return res;
 }
 
+/// KV-level run: a full KvService + SessionWorkload + KvOracle on a single
+/// cluster, with the ClusterOracle still watching the protocol underneath.
+/// The workload keeps issuing through the drain's first half, so reads and
+/// leases are exercised across the heal.
+RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
+                 uint64_t seed) {
+  harness::SimCluster cluster(opt.nodes, opt.fabric, opt.proto, opt.profile,
+                              seed);
+  if (!opt.artifact_dir.empty()) cluster.enable_metrics();
+  ClusterOracle oracle(opt.nodes);
+  oracle.attach(cluster);
+
+  kv::ServiceConfig scfg;
+  scfg.shards = 1;
+  scfg.preload_keys = 0;  // the KvOracle needs a fully observed history
+  kv::KvService service(cluster, scfg);
+  if (!opt.artifact_dir.empty()) service.bind_metrics();
+  KvOracle kv_oracle;
+  kv_oracle.attach(service);
+
+  kv::WorkloadConfig wcfg;
+  wcfg.sessions = 64;
+  wcfg.keys = 128;
+  wcfg.zipf_s = 0.9;
+  wcfg.read_fraction = 0.7;  // write-heavy vs the bench: more history churn
+  wcfg.value_size = opt.payload_size;
+  wcfg.base_rate = 4000;
+  wcfg.peak_factor = 1.5;
+  wcfg.period = opt.horizon;
+  wcfg.start = util::msec(5);
+  wcfg.stop = opt.horizon + opt.drain / 2;
+  wcfg.churn_per_sec = 20;
+  wcfg.op_timeout = util::msec(30);
+  wcfg.measure_from = 0;
+  wcfg.seed = seed;
+  kv::SessionWorkload workload(service, wcfg);
+
+  cluster.start_static();
+  workload.start();
+
+  auto fault = std::make_shared<FaultState>();
+  cluster.net().set_drop_filter(token_drop_filter(fault));
+
+  simnet::EventQueue& eq = cluster.eq();
+  for (const FaultEvent& e : schedule.events) {
+    eq.schedule_after(e.at, [&cluster, &oracle, &service, &kv_oracle, fault,
+                             e] {
+      simnet::Network& net = cluster.net();
+      switch (e.kind) {
+        case FaultKind::kLossBurst:
+          net.set_loss_rate(e.rate);
+          cluster.eq().schedule_after(e.duration,
+                                      [&net] { net.set_loss_rate(0); });
+          break;
+        case FaultKind::kTokenDrop:
+          fault->token_drops_pending += e.count;
+          break;
+        case FaultKind::kPartition:
+          for (int n : e.group) net.set_partition(n, 1);
+          break;
+        case FaultKind::kHeal:
+          net.heal();
+          break;
+        case FaultKind::kCrash:
+          if (!net.host_down(e.node)) {
+            cluster.crash_node(e.node);
+            oracle.note_crash(e.node);
+            service.on_crash(e.node);
+          }
+          break;
+        case FaultKind::kRestart:
+          if (net.host_down(e.node)) {
+            cluster.restart_node(e.node);
+            oracle.note_restart(e.node);
+            service.on_restart(e.node);
+            kv_oracle.note_restart(e.node);
+          }
+          break;
+        default:
+          // The kv scenarios only emit the faults above; anything else in a
+          // hand-written schedule is ignored here.
+          break;
+      }
+    });
+  }
+
+  eq.schedule_after(opt.horizon, [&cluster, fault] {
+    cluster.net().heal();
+    cluster.net().set_loss_rate(0);
+    fault->token_drops_pending = 0;
+  });
+
+  cluster.run_until(opt.horizon + opt.drain);
+
+  const harness::ClusterStats stats = cluster.stats();
+  oracle.finalize(&stats);
+  kv_oracle.finalize();
+
+  RunResult res;
+  res.ok = oracle.ok() && kv_oracle.ok();
+  res.violations = oracle.violations();
+  for (const Violation& v : kv_oracle.violations()) {
+    res.violations.push_back(v);
+  }
+  res.delivered = oracle.observed();
+  res.quarantines = stats.quarantines();
+  res.readmits = stats.readmits();
+  res.client_delivered = workload.stats().completed;
+  // Every kv scenario holds a crash, so the healthy-quarantine and
+  // false-ejection audits of run_single do not apply here.
+  const std::vector<const std::vector<Violation>*> lists = {&res.violations};
+  res.report = join_reports(lists);
+  if (!res.ok && !opt.artifact_dir.empty()) {
+    const obs::MetricsRegistry merged = cluster.merged_metrics();
+    obs::FlightRecord record;
+    record.scenario = schedule.scenario;
+    record.seed = seed;
+    record.captured_at = cluster.eq().now();
+    for (const Violation& v : res.violations) {
+      record.violations.push_back(v.what);
+    }
+    for (int n = 0; n < opt.nodes; ++n) {
+      obs::FlightNode fn;
+      fn.name = "node" + std::to_string(n);
+      fn.events = cluster.tracer(n).snapshot();
+      record.nodes.push_back(std::move(fn));
+    }
+    record.metrics = &merged;
+    res.artifact_path = obs::dump_flight(record, opt.artifact_dir);
+  }
+  return res;
+}
+
 RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
                     uint64_t seed) {
   multiring::MultiRingConfig mcfg;
@@ -536,8 +671,10 @@ protocol::ProtocolConfig campaign_proto_config() {
 
 RunResult run_schedule(const RunOptions& opt, const Schedule& schedule,
                        uint64_t seed) {
-  return opt.rings > 1 ? run_multi(opt, schedule, seed)
-                       : run_single(opt, schedule, seed);
+  if (opt.rings > 1) return run_multi(opt, schedule, seed);
+  const Scenario* sc = find_scenario(schedule.scenario);
+  if (sc != nullptr && sc->kv_level) return run_kv(opt, schedule, seed);
+  return run_single(opt, schedule, seed);
 }
 
 Schedule shrink(const RunOptions& opt, const Schedule& schedule,

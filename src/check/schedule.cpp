@@ -295,6 +295,65 @@ Schedule mixed(uint64_t seed, int nodes, Nanos horizon) {
   return s;
 }
 
+Schedule kv_state_transfer_crash(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"kv_state_transfer_crash", {}};
+  // A member crashes and cold-restarts, forcing a chunked state transfer;
+  // node 0 — the lowest veteran, hence the transfer sender — then crashes
+  // right after the restart, with good odds of dying mid-transfer. Both
+  // victims may restart (the epoch store keeps ring ids unique even for the
+  // static-start creator, the reconnect_storm precedent).
+  FaultEvent down;
+  down.kind = FaultKind::kCrash;
+  down.at = fault_time(rng, horizon);
+  down.node = victim(rng, nodes);
+  FaultEvent up;
+  up.kind = FaultKind::kRestart;
+  up.node = down.node;
+  up.at = std::min<Nanos>(down.at + util::msec(rng.range(20, 60)), horizon);
+  FaultEvent sender_down;
+  sender_down.kind = FaultKind::kCrash;
+  sender_down.node = 0;
+  sender_down.at =
+      std::min<Nanos>(up.at + util::msec(rng.range(0, 10)), horizon);
+  s.events.push_back(std::move(down));
+  s.events.push_back(std::move(up));
+  s.events.push_back(std::move(sender_down));
+  if (rng.chance(0.7)) {
+    FaultEvent sender_up;
+    sender_up.kind = FaultKind::kRestart;
+    sender_up.node = 0;
+    sender_up.at = std::min<Nanos>(
+        s.events.back().at + util::msec(rng.range(20, 50)), horizon);
+    s.events.push_back(std::move(sender_up));
+  }
+  return s;
+}
+
+Schedule kv_lease_holder_crash(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"kv_lease_holder_crash", {}};
+  // Node 0 is the designated leaseholder of shard 0 in the initial view:
+  // kill it while it serves lease reads. The survivors must revoke on the
+  // view change, the successor's lease must wait out the guard, and the
+  // oracle's exclusivity check must stay clean throughout.
+  FaultEvent down;
+  down.kind = FaultKind::kCrash;
+  down.at = fault_time(rng, horizon);
+  down.node = 0;
+  const Nanos down_at = down.at;
+  s.events.push_back(std::move(down));
+  if (rng.chance(0.5)) {
+    FaultEvent up;
+    up.kind = FaultKind::kRestart;
+    up.node = 0;
+    up.at = std::min<Nanos>(down_at + util::msec(rng.range(30, 90)), horizon);
+    s.events.push_back(std::move(up));
+  }
+  return s;
+}
+
 }  // namespace
 
 const char* fault_name(FaultKind kind) {
@@ -417,6 +476,13 @@ const std::vector<Scenario>& scenarios() {
       {"lossy_nic", lossy_nic, false},
       {"flapping_link", flapping_link, false},
       {"reorder_duplicate", reorder_duplicate, true},
+      // KV-service scenarios (appended, same stability rule): the whole KV
+      // stack — state transfer, leases, sessions — under its nastiest
+      // faults, judged by the KvOracle on top of the protocol oracles.
+      {"kv_state_transfer_crash", kv_state_transfer_crash, false,
+       /*client_level=*/false, /*kv_level=*/true},
+      {"kv_lease_holder_crash", kv_lease_holder_crash, false,
+       /*client_level=*/false, /*kv_level=*/true},
   };
   return kScenarios;
 }

@@ -71,6 +71,11 @@ struct Scenario {
   /// Runs with a ClientFleet (daemons + failover clients driving the
   /// workload) instead of direct engine submits. Single-ring only.
   bool client_level = false;
+  /// Runs a full KV service (KvService + SessionWorkload + KvOracle) on the
+  /// cluster instead of raw submits, checking state-machine agreement, read
+  /// correctness, session guarantees, and lease exclusivity under the
+  /// schedule's faults. Single-ring only.
+  bool kv_level = false;
 };
 
 /// The scenario catalogue, in campaign order.

@@ -1,0 +1,196 @@
+#include "kv/state_machine.hpp"
+
+#include "daemon/failover_client.hpp"
+#include "util/bytes.hpp"
+#include "util/crc32.hpp"
+
+namespace accelring::kv {
+
+namespace {
+
+uint32_t value_crc32(const std::string& s) {
+  return util::crc32(std::as_bytes(std::span{s.data(), s.size()}));
+}
+
+}  // namespace
+
+KvResult KvStateMachine::execute_read(const KvOp& op) const {
+  KvResult res;
+  if (op.type == OpType::kGet) {
+    const auto it = data_.find(op.key);
+    if (it == data_.end()) {
+      res.status = Status::kNotFound;
+    } else {
+      res.value = it->second;
+    }
+    return res;
+  }
+  // Range scan: up to scan_limit pairs starting at `key` (inclusive),
+  // summarized as a count plus a content CRC.
+  util::Writer digest;
+  uint32_t seen = 0;
+  for (auto it = data_.lower_bound(op.key);
+       it != data_.end() && seen < op.scan_limit; ++it, ++seen) {
+    digest.str(it->first);
+    digest.bytes(std::as_bytes(std::span{it->second.data(),
+                                         it->second.size()}));
+  }
+  res.scan_count = seen;
+  res.scan_crc = util::crc32(digest.view());
+  return res;
+}
+
+KvResult KvStateMachine::execute_mutation(const KvOp& op, bool& mutated) {
+  KvResult res;
+  switch (op.type) {
+    case OpType::kPut:
+      data_[op.key] = op.value;
+      mutated = true;
+      break;
+    case OpType::kDel: {
+      const auto it = data_.find(op.key);
+      if (it == data_.end()) {
+        res.status = Status::kNotFound;
+      } else {
+        data_.erase(it);
+        mutated = true;
+      }
+      break;
+    }
+    case OpType::kCas: {
+      const auto it = data_.find(op.key);
+      if (it == data_.end()) {
+        res.status = Status::kNotFound;
+      } else if (it->second != op.expect) {
+        res.status = Status::kCasMismatch;
+      } else {
+        it->second = op.value;
+        mutated = true;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return res;
+}
+
+void KvStateMachine::apply(std::span<const std::byte> command) {
+  const auto frame = daemon::decode_session_frame(command);
+  if (!frame) {
+    ++malformed_;
+    return;
+  }
+  const auto op = decode_op(frame->payload);
+  if (!op) {
+    ++malformed_;
+    return;
+  }
+  ++commands_;
+
+  AppliedOp applied;
+  applied.uuid = frame->uuid;
+  applied.seq = frame->seq;
+  applied.type = op->type;
+  applied.key = &op->key;
+
+  if (is_mutation(op->type) && frame->seq != 0) {
+    Session& session = sessions_[frame->uuid];
+    if (frame->seq <= session.floor) {
+      // Retried mutation already applied: answer from the cached result
+      // without touching state (exactly-once effect per session).
+      ++dup_suppressed_;
+      applied.duplicate = true;
+      if (auto cached = decode_result(session.result)) {
+        applied.result = std::move(*cached);
+      }
+      applied.version = version_;
+      if (on_apply_) on_apply_(applied);
+      return;
+    }
+    bool mutated = false;
+    applied.result = execute_mutation(*op, mutated);
+    if (mutated) {
+      ++version_;
+      applied.mutated = true;
+      if (op->type != OpType::kDel) applied.value_crc = value_crc32(op->value);
+    }
+    session.floor = frame->seq;
+    session.result = encode_result(applied.result);
+  } else if (is_mutation(op->type)) {
+    // seq 0: an unsessioned mutation (no dedup; used by internal traffic).
+    bool mutated = false;
+    applied.result = execute_mutation(*op, mutated);
+    if (mutated) {
+      ++version_;
+      applied.mutated = true;
+      if (op->type != OpType::kDel) applied.value_crc = value_crc32(op->value);
+    }
+  } else {
+    // Reads are idempotent: execute against current state, no session
+    // bookkeeping (a retried read simply re-reads).
+    applied.result = execute_read(*op);
+  }
+  applied.version = version_;
+  if (on_apply_) on_apply_(applied);
+}
+
+std::vector<std::byte> KvStateMachine::snapshot() const {
+  size_t bytes = 32;
+  for (const auto& [k, v] : data_) bytes += k.size() + v.size() + 8;
+  for (const auto& [u, s] : sessions_) bytes += s.result.size() + 24;
+  util::Writer w(bytes);
+  w.u64(version_);
+  w.u64(commands_);
+  w.u64(dup_suppressed_);
+  w.u32(static_cast<uint32_t>(data_.size()));
+  for (const auto& [k, v] : data_) {
+    w.str(k);
+    w.bytes(std::as_bytes(std::span{v.data(), v.size()}));
+  }
+  w.u32(static_cast<uint32_t>(sessions_.size()));
+  for (const auto& [uuid, s] : sessions_) {
+    w.u64(uuid);
+    w.u64(s.floor);
+    w.bytes(s.result);
+  }
+  return std::move(w).take();
+}
+
+void KvStateMachine::restore(std::span<const std::byte> snapshot) {
+  data_.clear();
+  sessions_.clear();
+  util::Reader r(snapshot);
+  version_ = r.u64();
+  commands_ = r.u64();
+  dup_suppressed_ = r.u64();
+  const uint32_t nkeys = r.u32();
+  for (uint32_t i = 0; i < nkeys && r.ok(); ++i) {
+    std::string key = r.str();
+    const auto val = r.bytes();
+    data_.emplace(std::move(key),
+                  std::string(reinterpret_cast<const char*>(val.data()),
+                              val.size()));
+  }
+  const uint32_t nsessions = r.u32();
+  for (uint32_t i = 0; i < nsessions && r.ok(); ++i) {
+    const uint64_t uuid = r.u64();
+    Session s;
+    s.floor = r.u64();
+    s.result = util::to_vector(r.bytes());
+    sessions_.emplace(uuid, std::move(s));
+  }
+}
+
+const std::string* KvStateMachine::get(const std::string& key) const {
+  const auto it = data_.find(key);
+  return it == data_.end() ? nullptr : &it->second;
+}
+
+void KvStateMachine::preload(const std::string& key,
+                             const std::string& value) {
+  data_[key] = value;
+  ++version_;
+}
+
+}  // namespace accelring::kv

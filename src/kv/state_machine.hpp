@@ -1,0 +1,96 @@
+// Deterministic replicated KV state machine.
+//
+// One instance per (node, shard), driven by an rsm::Replica: every command
+// is a session-framed KvOp ([uuid][seq][op]); apply() decodes, suppresses
+// duplicate mutations per session (seq at or below the session's floor
+// re-answers from the cached result instead of re-executing — the receiver
+// half of the FailoverClient exactly-once contract), executes, and reports
+// the outcome through an observation-only callback the frontend uses to
+// resolve local pending ops.
+//
+// Determinism contract: state (data, session table, version counters) is a
+// pure function of the command sequence, and snapshot()/restore() round-trip
+// all of it, so replicas restored from a chunked state transfer continue
+// with identical dedup behaviour and version numbering.
+//
+// `version()` counts effective mutations (commands that changed the map) and
+// is the currency of the consistency story: every applied/served result
+// reports the shard version it reflects, the oracle replays mutation events
+// into per-key histories keyed by version, and reads are checked against the
+// history entry their version selects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kv/command.hpp"
+#include "rsm/replica.hpp"
+
+namespace accelring::kv {
+
+/// One applied command, reported to the frontend / oracle. Spans and
+/// references are valid only for the duration of the callback.
+struct AppliedOp {
+  uint64_t uuid = 0;
+  uint64_t seq = 0;
+  OpType type = OpType::kGet;
+  const std::string* key = nullptr;
+  KvResult result;
+  uint64_t version = 0;    ///< shard state version after this command
+  bool duplicate = false;  ///< answered from the session result cache
+  bool mutated = false;    ///< the command changed the map
+  uint32_t value_crc = 0;  ///< CRC of the value written (mutations that took)
+};
+
+class KvStateMachine final : public rsm::StateMachine {
+ public:
+  /// Observation only: must not feed back into machine or replica state.
+  using ApplyFn = std::function<void(const AppliedOp&)>;
+
+  void set_on_apply(ApplyFn fn) { on_apply_ = std::move(fn); }
+
+  void apply(std::span<const std::byte> command) override;
+  [[nodiscard]] std::vector<std::byte> snapshot() const override;
+  void restore(std::span<const std::byte> snapshot) override;
+
+  /// Execute a read against current state without logging it (the lease
+  /// fast path; also used internally by apply for ordered reads).
+  [[nodiscard]] KvResult execute_read(const KvOp& op) const;
+
+  [[nodiscard]] const std::string* get(const std::string& key) const;
+  /// Effective mutations applied (state version).
+  [[nodiscard]] uint64_t version() const { return version_; }
+  /// All commands processed, reads and duplicates included.
+  [[nodiscard]] uint64_t commands() const { return commands_; }
+  [[nodiscard]] uint64_t dup_suppressed() const { return dup_suppressed_; }
+  [[nodiscard]] uint64_t malformed() const { return malformed_; }
+  [[nodiscard]] size_t size() const { return data_.size(); }
+  [[nodiscard]] size_t sessions() const { return sessions_.size(); }
+
+  /// Direct mutation used to pre-populate a warm dataset before the run
+  /// starts (applied identically at every founder, as if restored from a
+  /// common snapshot). Never call once ordered traffic is flowing.
+  void preload(const std::string& key, const std::string& value);
+
+ private:
+  struct Session {
+    uint64_t floor = 0;               ///< highest mutation seq applied
+    std::vector<std::byte> result;    ///< encoded result of that mutation
+  };
+
+  KvResult execute_mutation(const KvOp& op, bool& mutated);
+
+  std::map<std::string, std::string> data_;
+  std::map<uint64_t, Session> sessions_;
+  uint64_t version_ = 0;
+  uint64_t commands_ = 0;
+  uint64_t dup_suppressed_ = 0;
+  uint64_t malformed_ = 0;
+  ApplyFn on_apply_;
+};
+
+}  // namespace accelring::kv

@@ -1,0 +1,220 @@
+// KvStateMachine unit tests: codec round-trips, session dedup, CAS
+// semantics, scan digests, snapshot/restore fidelity, and determinism of
+// two machines fed the same command sequence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "daemon/failover_client.hpp"
+#include "kv/command.hpp"
+#include "kv/state_machine.hpp"
+
+namespace accelring::kv {
+namespace {
+
+std::vector<std::byte> frame(uint64_t uuid, uint64_t seq, const KvOp& op) {
+  return daemon::encode_session_frame(uuid, seq, encode_op(op));
+}
+
+KvOp put_op(std::string key, std::string value) {
+  KvOp op;
+  op.type = OpType::kPut;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  return op;
+}
+
+KvOp get_op(std::string key) {
+  KvOp op;
+  op.type = OpType::kGet;
+  op.key = std::move(key);
+  return op;
+}
+
+TEST(KvCommand, OpAndResultCodecsRoundTrip) {
+  KvOp op;
+  op.type = OpType::kCas;
+  op.key = "alpha";
+  op.value = "new-value";
+  op.expect = "old-value";
+  op.scan_limit = 42;
+  auto decoded = decode_op(encode_op(op));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, OpType::kCas);
+  EXPECT_EQ(decoded->key, "alpha");
+  EXPECT_EQ(decoded->value, "new-value");
+  EXPECT_EQ(decoded->expect, "old-value");
+  EXPECT_EQ(decoded->scan_limit, 42u);
+
+  KvResult result;
+  result.status = Status::kCasMismatch;
+  result.value = "observed";
+  result.scan_count = 7;
+  result.scan_crc = 0xdeadbeef;
+  auto round = decode_result(encode_result(result));
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->status, Status::kCasMismatch);
+  EXPECT_EQ(round->value, "observed");
+  EXPECT_EQ(round->scan_count, 7u);
+  EXPECT_EQ(round->scan_crc, 0xdeadbeefu);
+
+  EXPECT_FALSE(decode_op({}).has_value());
+}
+
+TEST(KvStateMachine, BasicMutationsAndReads) {
+  KvStateMachine m;
+  m.apply(frame(1, 1, put_op("a", "1")));
+  m.apply(frame(1, 2, put_op("b", "2")));
+  EXPECT_EQ(m.version(), 2u);
+  ASSERT_NE(m.get("a"), nullptr);
+  EXPECT_EQ(*m.get("a"), "1");
+
+  KvResult read = m.execute_read(get_op("b"));
+  EXPECT_EQ(read.status, Status::kOk);
+  EXPECT_EQ(read.value, "2");
+  EXPECT_EQ(m.execute_read(get_op("missing")).status, Status::kNotFound);
+
+  KvOp del;
+  del.type = OpType::kDel;
+  del.key = "a";
+  m.apply(frame(1, 3, del));
+  EXPECT_EQ(m.get("a"), nullptr);
+  EXPECT_EQ(m.version(), 3u);
+  // Deleting again is a no-op mutation: version must not advance.
+  m.apply(frame(1, 4, del));
+  EXPECT_EQ(m.version(), 3u);
+}
+
+TEST(KvStateMachine, CasAppliesOnlyOnExpectedValue) {
+  KvStateMachine m;
+  m.apply(frame(9, 1, put_op("k", "v1")));
+
+  KvOp cas;
+  cas.type = OpType::kCas;
+  cas.key = "k";
+  cas.expect = "wrong";
+  cas.value = "v2";
+  m.apply(frame(9, 2, cas));
+  EXPECT_EQ(*m.get("k"), "v1") << "mismatched CAS must not write";
+  EXPECT_EQ(m.version(), 1u);
+
+  cas.expect = "v1";
+  m.apply(frame(9, 3, cas));
+  EXPECT_EQ(*m.get("k"), "v2");
+  EXPECT_EQ(m.version(), 2u);
+}
+
+TEST(KvStateMachine, DuplicateMutationsReplayCachedResult) {
+  KvStateMachine m;
+  std::vector<AppliedOp> seen;
+  m.set_on_apply([&seen](const AppliedOp& op) {
+    AppliedOp copy = op;
+    copy.key = nullptr;  // key pointer is callback-scoped
+    seen.push_back(copy);
+  });
+
+  m.apply(frame(5, 1, put_op("x", "first")));
+  m.apply(frame(5, 2, put_op("x", "second")));
+  // A retransmit of seq 1 after the session floor advanced: the machine
+  // must answer from the cache of seq 2 (its latest mutation result),
+  // not re-execute the stale write.
+  m.apply(frame(5, 1, put_op("x", "first")));
+  EXPECT_EQ(*m.get("x"), "second");
+  EXPECT_EQ(m.version(), 2u);
+  EXPECT_EQ(m.dup_suppressed(), 1u);
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_FALSE(seen[0].duplicate);
+  EXPECT_FALSE(seen[1].duplicate);
+  EXPECT_TRUE(seen[2].duplicate);
+  EXPECT_FALSE(seen[2].mutated);
+
+  // seq 0 marks an unsessioned command: never deduplicated.
+  m.apply(frame(5, 0, put_op("y", "a")));
+  m.apply(frame(5, 0, put_op("y", "b")));
+  EXPECT_EQ(*m.get("y"), "b");
+  EXPECT_EQ(m.dup_suppressed(), 1u);
+}
+
+TEST(KvStateMachine, ScanDigestsAreOrderAndContentSensitive) {
+  KvStateMachine m;
+  m.apply(frame(2, 1, put_op("user:1", "alice")));
+  m.apply(frame(2, 2, put_op("user:2", "bob")));
+  m.apply(frame(2, 3, put_op("zz", "other")));
+
+  // Scans walk up to scan_limit pairs starting at lower_bound(key).
+  KvOp scan;
+  scan.type = OpType::kScan;
+  scan.key = "user:";
+  scan.scan_limit = 10;
+  KvResult r1 = m.execute_read(scan);
+  EXPECT_EQ(r1.scan_count, 3u);
+
+  scan.scan_limit = 2;
+  KvResult r2 = m.execute_read(scan);
+  EXPECT_EQ(r2.scan_count, 2u);
+  EXPECT_NE(r1.scan_crc, r2.scan_crc);
+
+  m.apply(frame(2, 4, put_op("user:2", "carol")));
+  scan.scan_limit = 10;
+  KvResult r3 = m.execute_read(scan);
+  EXPECT_EQ(r3.scan_count, 3u);
+  EXPECT_NE(r3.scan_crc, r1.scan_crc) << "content change must move the CRC";
+}
+
+TEST(KvStateMachine, SnapshotRestoreRoundTripsEverything) {
+  KvStateMachine a;
+  a.apply(frame(11, 1, put_op("p", "1")));
+  a.apply(frame(11, 2, put_op("q", "2")));
+  a.apply(frame(12, 1, put_op("r", "3")));
+  a.apply(frame(11, 1, put_op("p", "stale")));  // dup, cached replay
+
+  KvStateMachine b;
+  b.restore(a.snapshot());
+  EXPECT_EQ(b.version(), a.version());
+  EXPECT_EQ(b.commands(), a.commands());
+  EXPECT_EQ(b.dup_suppressed(), a.dup_suppressed());
+  EXPECT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.sessions(), a.sessions());
+  ASSERT_NE(b.get("q"), nullptr);
+  EXPECT_EQ(*b.get("q"), "2");
+
+  // The restored session table must keep deduplicating: a retransmit of
+  // session 11 seq 2 on the restored machine is suppressed.
+  const uint64_t dups_before = b.dup_suppressed();
+  b.apply(frame(11, 2, put_op("q", "rewrite")));
+  EXPECT_EQ(*b.get("q"), "2");
+  EXPECT_EQ(b.dup_suppressed(), dups_before + 1);
+}
+
+TEST(KvStateMachine, IdenticalCommandSequencesYieldIdenticalState) {
+  std::vector<std::vector<std::byte>> commands;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t uuid = 1 + (i % 5);
+    KvOp op = put_op("key-" + std::to_string(i % 9),
+                     "value-" + std::to_string(i));
+    if (i % 11 == 3) {
+      op.type = OpType::kDel;
+      op.value.clear();
+    }
+    commands.push_back(frame(uuid, static_cast<uint64_t>(i / 5 + 1), op));
+  }
+  KvStateMachine a, b;
+  for (const auto& c : commands) a.apply(c);
+  for (const auto& c : commands) b.apply(c);
+  EXPECT_EQ(a.version(), b.version());
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(KvStateMachine, PreloadBumpsVersionAndIsSnapshotVisible) {
+  KvStateMachine m;
+  m.preload("warm", "data");
+  EXPECT_EQ(m.version(), 1u);
+  KvStateMachine copy;
+  copy.restore(m.snapshot());
+  ASSERT_NE(copy.get("warm"), nullptr);
+  EXPECT_EQ(*copy.get("warm"), "data");
+}
+
+}  // namespace
+}  // namespace accelring::kv

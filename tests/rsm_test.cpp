@@ -64,7 +64,7 @@ struct RsmCluster {
   std::vector<std::unique_ptr<Replica>> replicas;
 
   RsmCluster(int n, protocol::ProtocolConfig cfg, uint64_t seed,
-             bool founders = true)
+             bool founders = true, ReplicaOptions options = {})
       : cluster(n, simnet::FabricParams::one_gig(), cfg,
                 ImplProfile::kLibrary, seed) {
     for (int i = 0; i < n; ++i) {
@@ -75,7 +75,7 @@ struct RsmCluster {
       };
       replicas.push_back(std::make_unique<Replica>(
           static_cast<protocol::ProcessId>(i), *machines[i], submit,
-          founders));
+          founders, options));
     }
     cluster.set_on_deliver(
         [this](int node, const protocol::Delivery& d, protocol::Nanos) {
@@ -240,6 +240,180 @@ TEST(Rsm, ContinuousAuditDetectsNoDivergenceInHealthyRuns) {
         << "replica " << i;
     EXPECT_EQ(rc.machines[i]->values(), rc.machines[0]->values());
   }
+}
+
+TEST(Rsm, StateTransferIsChunkedAtTheConfiguredBound) {
+  // Tiny chunks force a wide multi-frame transfer: with ~1 KiB of state and
+  // 128-byte chunks the sender must ship many frames, none above the bound.
+  ReplicaOptions opt;
+  opt.max_chunk_bytes = 128;
+  opt.checkpoint_interval = 16;
+  RsmCluster rc(4, fast_cfg(), 17, /*founders=*/false, opt);
+  for (int i = 0; i < 3; ++i) {
+    rc.replicas[i] = std::make_unique<Replica>(
+        static_cast<protocol::ProcessId>(i), *rc.machines[i],
+        [&rc, i](std::vector<std::byte> p) {
+          return rc.cluster.engine(i).submit(protocol::Service::kAgreed,
+                                             std::move(p));
+        },
+        /*founder=*/true, opt);
+  }
+  rc.cluster.net().set_host_down(3, true);
+  for (int i = 0; i < 3; ++i) {
+    rc.cluster.process(i).run_soon(
+        [&rc, i] { rc.cluster.engine(i).start_discovery(); });
+  }
+  // ~90 distinct keys -> a checkpoint far larger than one chunk.
+  for (int i = 0; i < 90; ++i) {
+    rc.cluster.eq().schedule(util::msec(30) + i * util::msec(1), [&rc, i] {
+      rc.replicas[i % 3]->submit(add_command(static_cast<uint32_t>(i), 7));
+    });
+  }
+  rc.cluster.eq().schedule(util::msec(250), [&rc] {
+    rc.cluster.net().set_host_down(3, false);
+    rc.cluster.process(3).run_soon(
+        [&rc] { rc.cluster.engine(3).start_discovery(); });
+  });
+  rc.cluster.run_until(util::sec(4));
+
+  ASSERT_TRUE(rc.replicas[3]->initialized());
+  EXPECT_GE(rc.replicas[3]->stats().snapshots_restored, 1u);
+  uint64_t chunks = 0;
+  uint64_t bytes = 0;
+  for (int i = 0; i < 3; ++i) {
+    chunks += rc.replicas[i]->stats().chunks_sent;
+    bytes += rc.replicas[i]->stats().snapshot_bytes;
+  }
+  EXPECT_GT(chunks, 3u) << "transfer was not split into multiple chunks";
+  EXPECT_GT(bytes, 3u * 128u);
+  EXPECT_EQ(rc.machines[3]->values(), rc.machines[0]->values());
+  // Compaction ran: the retained log never outgrows one interval.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(rc.replicas[i]->stats().checkpoints, 0u);
+    EXPECT_LE(rc.replicas[i]->retained_log_size(), opt.checkpoint_interval);
+  }
+}
+
+/// A deliberately non-deterministic machine: applies every delta doubled,
+/// so its state silently drifts from its peers'.
+class FaultyMachine final : public StateMachine {
+ public:
+  void apply(std::span<const std::byte> command) override {
+    util::Reader r(command);
+    const uint32_t key = r.u32();
+    const int64_t delta = r.i64();
+    if (r.done()) values_[key] += 2 * delta;
+  }
+  [[nodiscard]] std::vector<std::byte> snapshot() const override {
+    util::Writer w(16 * values_.size() + 4);
+    w.u32(static_cast<uint32_t>(values_.size()));
+    for (const auto& [k, v] : values_) {
+      w.u32(k);
+      w.i64(v);
+    }
+    return std::move(w).take();
+  }
+  void restore(std::span<const std::byte> snapshot) override {
+    values_.clear();
+    util::Reader r(snapshot);
+    const uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      const uint32_t k = r.u32();
+      values_[k] = r.i64();
+    }
+  }
+
+ private:
+  std::map<uint32_t, int64_t> values_;
+};
+
+TEST(Rsm, BoundaryAuditCatchesNondeterministicStateMachine) {
+  // Node 1 runs a machine that applies commands differently. The drift is
+  // invisible until a membership change triggers a transfer: the sender's
+  // boundary CRC then disagrees with node 1's own boundary capture, and the
+  // continuous audit must flag divergence.
+  RsmCluster rc(4, fast_cfg(), 19, /*founders=*/false);
+  FaultyMachine faulty;
+  for (int i = 0; i < 3; ++i) {
+    StateMachine& machine =
+        i == 1 ? static_cast<StateMachine&>(faulty) : *rc.machines[i];
+    rc.replicas[i] = std::make_unique<Replica>(
+        static_cast<protocol::ProcessId>(i), machine,
+        [&rc, i](std::vector<std::byte> p) {
+          return rc.cluster.engine(i).submit(protocol::Service::kAgreed,
+                                             std::move(p));
+        },
+        /*founder=*/true);
+  }
+  rc.cluster.net().set_host_down(3, true);
+  for (int i = 0; i < 3; ++i) {
+    rc.cluster.process(i).run_soon(
+        [&rc, i] { rc.cluster.engine(i).start_discovery(); });
+  }
+  for (int i = 0; i < 50; ++i) {
+    rc.cluster.eq().schedule(util::msec(30) + i * util::msec(1), [&rc, i] {
+      rc.replicas[i % 3]->submit(add_command(i % 5, 3));
+    });
+  }
+  rc.cluster.eq().schedule(util::msec(200), [&rc] {
+    rc.cluster.net().set_host_down(3, false);
+    rc.cluster.process(3).run_soon(
+        [&rc] { rc.cluster.engine(3).start_discovery(); });
+  });
+  rc.cluster.run_until(util::sec(4));
+
+  uint64_t divergence = 0;
+  for (int i = 0; i < 4; ++i) {
+    divergence += rc.replicas[i]->stats().divergence_detected;
+  }
+  EXPECT_GE(divergence, 1u)
+      << "non-deterministic replica escaped the boundary audit";
+}
+
+TEST(Rsm, MetricsBindingMirrorsStatsWithoutPerturbingTheRun) {
+  // Identical seeded runs with and without registry bindings: final state
+  // and stats must match exactly (zero-perturbation contract), and bound
+  // counters must mirror ReplicaStats.
+  auto drive = [](bool bind, std::map<uint32_t, int64_t>& out,
+                  ReplicaStats& stats, obs::MetricsRegistry* registry) {
+    ReplicaOptions opt;
+    opt.checkpoint_interval = 32;  // low enough that 120 commands checkpoint
+    RsmCluster rc(3, fast_cfg(), 23, /*founders=*/true, opt);
+    if (bind) {
+      for (auto& replica : rc.replicas) {
+        replica->set_metrics(RsmMetrics::bind(*registry));
+      }
+    }
+    rc.cluster.start_static();
+    for (int i = 0; i < 120; ++i) {
+      rc.cluster.eq().schedule(util::usec(80) + i * util::usec(60), [&rc, i] {
+        rc.replicas[i % 3]->submit(add_command(i % 9, i));
+      });
+    }
+    rc.cluster.run_until(util::sec(2));
+    out = rc.machines[0]->values();
+    stats = rc.replicas[0]->stats();
+  };
+
+  std::map<uint32_t, int64_t> plain_state, bound_state;
+  ReplicaStats plain_stats, bound_stats;
+  obs::MetricsRegistry registry;
+  drive(false, plain_state, plain_stats, nullptr);
+  drive(true, bound_state, bound_stats, &registry);
+
+  EXPECT_EQ(plain_state, bound_state);
+  EXPECT_EQ(plain_stats.applied, bound_stats.applied);
+  EXPECT_EQ(plain_stats.proposed, bound_stats.proposed);
+  EXPECT_EQ(plain_stats.checkpoints, bound_stats.checkpoints);
+
+  // The registry holds the summed stats of all three bound replicas.
+  const obs::Counter* applied = registry.find_counter("rsm", "applied");
+  ASSERT_NE(applied, nullptr);
+  EXPECT_EQ(applied->value(), 3 * bound_stats.applied);
+  const obs::Counter* checkpoints =
+      registry.find_counter("rsm", "checkpoints");
+  ASSERT_NE(checkpoints, nullptr);
+  EXPECT_GT(checkpoints->value(), 0u);
 }
 
 }  // namespace

@@ -59,6 +59,23 @@ python3 tools/validate_bench_json.py \
   "${OBS_DIR}/BENCH_obs_smoke_1ring.json" \
   "${OBS_DIR}/BENCH_obs_smoke_4ring.json"
 
+# KV service acceptance: the sharded KV smoke (single-shard and K=4) must
+# complete a short million-key-space session workload end to end — rsm
+# replicas, lease reads, exactly-once frontends over the merged stream —
+# and emit validating artifacts. The kv-labelled ctest suite above covers
+# the protocol corners; this guards the full-stack wiring and the bench
+# artifact contract.
+echo "=== build: kv service smoke ==="
+cmake --build build --target kv_service
+KV_DIR="build/kv_artifacts"
+rm -rf "${KV_DIR}"
+mkdir -p "${KV_DIR}"
+ACCELRING_BENCH_DIR="${KV_DIR}" ./build/bench/kv_service --smoke --shards 1 >/dev/null
+ACCELRING_BENCH_DIR="${KV_DIR}" ./build/bench/kv_service --smoke --shards 4 >/dev/null
+python3 tools/validate_bench_json.py \
+  "${KV_DIR}/BENCH_kv_smoke_1shard.json" \
+  "${KV_DIR}/BENCH_kv_smoke_4shard.json"
+
 if [[ "${FAST}" == "0" ]]; then
   configure_and_test build-asan -DACCELRING_SANITIZE=address
   configure_and_test build-ubsan -DACCELRING_SANITIZE=undefined
