@@ -63,14 +63,17 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
                      uint64_t seed) {
   const Scenario* sc = find_scenario(schedule.scenario);
   const bool with_clients = sc != nullptr && sc->client_level;
+  const bool wan = sc != nullptr && sc->wan;
   RunOptions ropt = opt;
   if (with_clients) {
     // A client run must be able to overload its daemons within one burst:
     // clamp the engine queue so sends actually cross the high-water line.
     ropt.proto.max_pending = std::min<size_t>(ropt.proto.max_pending, 384);
   }
-  harness::SimCluster cluster(ropt.nodes, ropt.fabric, ropt.proto,
-                              ropt.profile, seed);
+  const simnet::Topology topo = wan ? campaign_wan_topology(ropt.nodes)
+                                    : simnet::Topology::single_dc(ropt.nodes);
+  harness::SimCluster cluster(topo, ropt.fabric, ropt.proto, ropt.profile,
+                              seed);
   // Metrics ride along only when a failure would dump them: recording is
   // perturbation-free (obs_determinism_test), so the verdict is unaffected,
   // and passing runs skip the registry allocations.
@@ -104,6 +107,20 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
         // other; either may legitimately fall out of a configuration.
         degraded->insert(e.node);
         if (e.peer >= 0) degraded->insert(e.peer);
+        break;
+      case FaultKind::kRackPower:
+      case FaultKind::kRackRestore:
+      case FaultKind::kWanDown:
+        // Correlated crashes and a severed inter-DC path can legitimately
+        // remove any member from a configuration.
+        any_ejection_justified = true;
+        break;
+      case FaultKind::kSwitchBrownout:
+        // Every host behind the browned switch is degraded; a quarantine of
+        // one is legitimate, of anyone else a violation.
+        for (int h = 0; h < topo.num_hosts(); ++h) {
+          if (topo.dc_of(h) == e.node) degraded->insert(h);
+        }
         break;
       default:
         break;
@@ -174,9 +191,13 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
           }
           break;
         case FaultKind::kLatencyShift:
-          net.set_extra_latency(e.extra_latency);
-          cluster.eq().schedule_after(e.duration,
-                                      [&net] { net.set_extra_latency(0); });
+          // Shifts compose additively (overlapping congestion episodes add
+          // up); the expiry subtracts exactly its own onset, and the fabric
+          // clamps at 0 if a heal-all already absorbed it.
+          net.add_extra_latency(e.extra_latency);
+          cluster.eq().schedule_after(e.duration, [&net, e] {
+            net.add_extra_latency(-e.extra_latency);
+          });
           break;
         case FaultKind::kOverload:
           if (fleetp != nullptr) fleetp->burst(e.node, e.count);
@@ -203,6 +224,39 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
           net.set_duplicate(e.rate);
           cluster.eq().schedule_after(e.duration,
                                       [&net] { net.set_duplicate(0); });
+          break;
+        case FaultKind::kRackPower:
+          // One power domain dies at the same instant.
+          for (int n : e.group) {
+            if (!net.host_down(n)) {
+              cluster.crash_node(n);
+              oracle.note_crash(n);
+              if (fleetp != nullptr) fleetp->on_crash(n);
+            }
+          }
+          break;
+        case FaultKind::kRackRestore:
+          // Droppable like kRestart: hosts that were never crashed (or whose
+          // power-off was shrunk away) are skipped.
+          for (int n : e.group) {
+            if (net.host_down(n)) {
+              cluster.restart_node(n);
+              oracle.note_restart(n);
+              if (fleetp != nullptr) fleetp->on_restart(n);
+            }
+          }
+          break;
+        case FaultKind::kSwitchBrownout:
+          net.set_dc_brownout(e.node, e.rate, e.extra_latency);
+          cluster.eq().schedule_after(e.duration, [&net, e] {
+            net.set_dc_brownout(e.node, 0, 0);
+          });
+          break;
+        case FaultKind::kWanDown:
+          net.set_wan_down(e.node, e.peer, true);
+          cluster.eq().schedule_after(e.duration, [&net, e] {
+            net.set_wan_down(e.node, e.peer, false);
+          });
           break;
       }
     });
@@ -231,9 +285,11 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
     cluster.net().heal();
     cluster.net().set_loss_rate(0);
     cluster.net().set_extra_latency(0);
-    cluster.net().clear_link_faults();
+    cluster.net().clear_link_faults();  // WAN links up, brownouts off too
     for (int n = 0; n < cluster.size(); ++n) {
-      cluster.process(n).set_cpu_multiplier(1.0);
+      // Back to the *constructed* speed: heterogeneous topologies keep their
+      // hardware through a heal (1.0 on homogeneous clusters, as before).
+      cluster.process(n).set_cpu_multiplier(cluster.base_cpu_multiplier(n));
     }
     fault->token_drops_pending = 0;
   });
@@ -306,8 +362,11 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
 /// leases are exercised across the heal.
 RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
                  uint64_t seed) {
-  harness::SimCluster cluster(opt.nodes, opt.fabric, opt.proto, opt.profile,
-                              seed);
+  const Scenario* sc = find_scenario(schedule.scenario);
+  const bool wan = sc != nullptr && sc->wan;
+  const simnet::Topology topo = wan ? campaign_wan_topology(opt.nodes)
+                                    : simnet::Topology::single_dc(opt.nodes);
+  harness::SimCluster cluster(topo, opt.fabric, opt.proto, opt.profile, seed);
   if (!opt.artifact_dir.empty()) cluster.enable_metrics();
   ClusterOracle oracle(opt.nodes);
   oracle.attach(cluster);
@@ -333,6 +392,10 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
   wcfg.stop = opt.horizon + opt.drain / 2;
   wcfg.churn_per_sec = 20;
   wcfg.op_timeout = util::msec(30);
+  // WAN: a quorum round-trip crosses 3 ms links, and a rack-power view
+  // change takes several WAN token rotations — give ops headroom to retry
+  // past it instead of timing out spuriously.
+  if (wan) wcfg.op_timeout = util::msec(80);
   wcfg.measure_from = 0;
   wcfg.seed = seed;
   kv::SessionWorkload workload(service, wcfg);
@@ -378,6 +441,25 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
             kv_oracle.note_restart(e.node);
           }
           break;
+        case FaultKind::kRackPower:
+          for (int n : e.group) {
+            if (!net.host_down(n)) {
+              cluster.crash_node(n);
+              oracle.note_crash(n);
+              service.on_crash(n);
+            }
+          }
+          break;
+        case FaultKind::kRackRestore:
+          for (int n : e.group) {
+            if (net.host_down(n)) {
+              cluster.restart_node(n);
+              oracle.note_restart(n);
+              service.on_restart(n);
+              kv_oracle.note_restart(n);
+            }
+          }
+          break;
         default:
           // The kv scenarios only emit the faults above; anything else in a
           // hand-written schedule is ignored here.
@@ -389,6 +471,8 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
   eq.schedule_after(opt.horizon, [&cluster, fault] {
     cluster.net().heal();
     cluster.net().set_loss_rate(0);
+    cluster.net().set_extra_latency(0);
+    cluster.net().clear_link_faults();  // WAN links up, brownouts off too
     fault->token_drops_pending = 0;
   });
 
@@ -435,7 +519,9 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
 
 RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
                     uint64_t seed) {
+  const Scenario* msc = find_scenario(schedule.scenario);
   multiring::MultiRingConfig mcfg;
+  if (msc != nullptr && msc->wan) mcfg.topology = campaign_wan_topology(opt.nodes);
   mcfg.rings = opt.rings;
   mcfg.nodes_per_ring = opt.nodes;
   mcfg.fabric = opt.fabric;
@@ -526,12 +612,14 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
           // it was down), which the merged-prefix oracle must not excuse.
           break;
         case FaultKind::kLatencyShift:
+          // Additive, so overlapping shifts (wan_latency_surge) compose and
+          // each expiry removes only its own contribution.
           for (int r = 0; r < rings.num_rings(); ++r) {
-            rings.ring(r).net().set_extra_latency(e.extra_latency);
+            rings.ring(r).net().add_extra_latency(e.extra_latency);
           }
-          eq.schedule_after(e.duration, [&rings] {
+          eq.schedule_after(e.duration, [&rings, e] {
             for (int r = 0; r < rings.num_rings(); ++r) {
-              rings.ring(r).net().set_extra_latency(0);
+              rings.ring(r).net().add_extra_latency(-e.extra_latency);
             }
           });
           break;
@@ -562,6 +650,14 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
               rings.ring(r).net().set_duplicate(0);
             }
           });
+          break;
+        case FaultKind::kRackPower:
+        case FaultKind::kRackRestore:
+        case FaultKind::kSwitchBrownout:
+        case FaultKind::kWanDown:
+          // Correlated crash/restart and topology faults: their scenarios
+          // are not multiring-safe (restart is single-ring only, and the
+          // merged-prefix oracle cannot excuse a whole rack's gap).
           break;
       }
     });
@@ -669,12 +765,35 @@ protocol::ProtocolConfig campaign_proto_config() {
   return cfg;
 }
 
+protocol::ProtocolConfig wan_proto_config() {
+  protocol::ProtocolConfig cfg = campaign_proto_config();
+  // A token rotation on campaign_wan_topology crosses up to three 3 ms WAN
+  // links each way; the LAN-tuned timeouts would declare loss on every
+  // rotation. Stretched statics keep the failure detector sound, and the
+  // adaptive estimator (the feature WAN delay motivates) tightens them back
+  // toward the measured rotation once the ring is steady.
+  cfg.timeouts.token_retransmit = util::msec(25);
+  cfg.timeouts.token_loss = util::msec(80);
+  cfg.timeouts.join = util::msec(15);
+  cfg.timeouts.consensus = util::msec(160);
+  cfg.adaptive_timeouts = true;
+  return cfg;
+}
+
 RunResult run_schedule(const RunOptions& opt, const Schedule& schedule,
                        uint64_t seed) {
-  if (opt.rings > 1) return run_multi(opt, schedule, seed);
   const Scenario* sc = find_scenario(schedule.scenario);
-  if (sc != nullptr && sc->kv_level) return run_kv(opt, schedule, seed);
-  return run_single(opt, schedule, seed);
+  RunOptions ropt = opt;
+  if (sc != nullptr && sc->wan) {
+    // WAN scenarios swap in the rescaled timeouts and give the drain room
+    // for a post-heal view change over 3 ms links. Callers that already ask
+    // for a longer drain keep theirs.
+    ropt.proto = wan_proto_config();
+    ropt.drain = std::max<Nanos>(ropt.drain, util::msec(450));
+  }
+  if (ropt.rings > 1) return run_multi(ropt, schedule, seed);
+  if (sc != nullptr && sc->kv_level) return run_kv(ropt, schedule, seed);
+  return run_single(ropt, schedule, seed);
 }
 
 Schedule shrink(const RunOptions& opt, const Schedule& schedule,

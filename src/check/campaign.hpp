@@ -37,6 +37,14 @@ namespace accelring::check {
 /// variable at a time and keep seed-identical packet sizes.
 [[nodiscard]] protocol::ProtocolConfig campaign_proto_config();
 
+/// campaign_proto_config() rescaled for the multi-datacenter campaign
+/// topology: a token rotation crosses several 3 ms WAN links, so the static
+/// membership timeouts stretch accordingly and the Jacobson/Karels adaptive
+/// estimator is switched on (WAN delay is exactly the condition it exists
+/// for). Applied automatically by run_schedule for scenarios with
+/// Scenario::wan set, together with a longer drain.
+[[nodiscard]] protocol::ProtocolConfig wan_proto_config();
+
 struct RunOptions {
   int nodes = 5;
   int rings = 1;  ///< 1 = single cluster; >1 = RingSet with K rings

@@ -354,7 +354,146 @@ Schedule kv_lease_holder_crash(uint64_t seed, int nodes, Nanos horizon) {
   return s;
 }
 
+// --- WAN / correlated-fault scenarios (campaign_wan_topology) --------------
+
+/// Random loss bursts, but on the 3-DC WAN topology: the retransmission and
+/// failure-detection machinery rides them out across real link delay.
+Schedule wan_loss_bursts(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"wan_loss_bursts", {}};
+  const int bursts = static_cast<int>(rng.range(1, 3));
+  for (int i = 0; i < bursts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLossBurst;
+    e.at = fault_time(rng, horizon);
+    e.rate = 0.05 + rng.uniform() * 0.25;
+    e.duration = util::msec(rng.range(5, 40));
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
+/// Two deliberately *overlapping* latency shifts on the WAN topology. The
+/// fabric composes shifts additively on top of the per-link WAN propagation
+/// (add_extra_latency); the overlap is the regression surface for the old
+/// overwrite bug, where the second onset erased the first and the first
+/// expiry erased the second.
+Schedule wan_latency_surge(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"wan_latency_surge", {}};
+  FaultEvent first;
+  first.kind = FaultKind::kLatencyShift;
+  first.at = fault_time(rng, horizon);
+  first.extra_latency = util::msec(rng.range(1, 5));
+  first.duration = util::msec(rng.range(40, 80));
+  FaultEvent second;
+  second.kind = FaultKind::kLatencyShift;
+  second.at = std::min<Nanos>(first.at + first.duration / 2, horizon);
+  second.extra_latency = util::msec(rng.range(1, 4));
+  second.duration = util::msec(rng.range(30, 60));
+  s.events.push_back(std::move(first));
+  s.events.push_back(std::move(second));
+  return s;
+}
+
+/// Pick one (dc, rack) power domain of the campaign topology. Deterministic
+/// for a given (seed, nodes): the racks come from the topology (fixed) and
+/// the index from the schedule rng.
+std::vector<int> pick_rack(Rng& rng, int nodes) {
+  const std::vector<std::vector<int>> racks =
+      campaign_wan_topology(nodes).racks();
+  std::vector<int> rack = racks[rng.below(racks.size())];
+  // Never power off the whole cluster: keep at most nodes-2 victims so a
+  // majority-ish remainder can keep a ring alive.
+  while (static_cast<int>(rack.size()) > nodes - 2) rack.pop_back();
+  return rack;
+}
+
+/// Rack power loss: every host in one rack crashes at the same instant, and
+/// power returns 40-90 ms later (cold restarts through the epoch store).
+Schedule rack_power(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"rack_power", {}};
+  FaultEvent off;
+  off.kind = FaultKind::kRackPower;
+  off.at = fault_time(rng, horizon);
+  off.group = pick_rack(rng, nodes);
+  FaultEvent on;
+  on.kind = FaultKind::kRackRestore;
+  on.group = off.group;
+  on.at = std::min<Nanos>(off.at + util::msec(rng.range(40, 90)), horizon);
+  s.events.push_back(std::move(off));
+  s.events.push_back(std::move(on));
+  return s;
+}
+
+/// Switch brownout: one DC's switch degrades every port — elevated loss and
+/// forwarding latency for a bounded window, then recovers.
+Schedule switch_brownout(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"switch_brownout", {}};
+  const int dcs = campaign_wan_topology(nodes).num_dcs;
+  FaultEvent e;
+  e.kind = FaultKind::kSwitchBrownout;
+  e.at = fault_time(rng, horizon);
+  e.node = static_cast<int>(rng.below(static_cast<uint64_t>(dcs)));
+  e.rate = 0.05 + rng.uniform() * 0.10;
+  e.extra_latency = util::msec(rng.range(1, 4));
+  e.duration = util::msec(rng.range(30, 80));
+  s.events.push_back(std::move(e));
+  return s;
+}
+
+/// DC flap: one WAN link cycles down/up several times (routing is static, so
+/// each down window black-holes that inter-DC path).
+Schedule dc_flap(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"dc_flap", {}};
+  const simnet::Topology topo = campaign_wan_topology(nodes);
+  const simnet::WanLinkParams& link =
+      topo.wan_links[rng.below(topo.wan_links.size())];
+  const int flaps = static_cast<int>(rng.range(2, 4));
+  for (int i = 0; i < flaps; ++i) {
+    FaultEvent down;
+    down.kind = FaultKind::kWanDown;
+    down.at = fault_time(rng, horizon);
+    down.node = link.dc_a;
+    down.peer = link.dc_b;
+    down.duration = util::msec(rng.range(4, 12));
+    s.events.push_back(std::move(down));
+  }
+  return s;
+}
+
+/// The full KV stack across datacenters with a rack losing power mid-run:
+/// leases, sessions, and state transfer all cross WAN links while a
+/// correlated crash group (possibly including the leaseholder) cycles.
+Schedule kv_wan_rack_power(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"kv_wan_rack_power", {}};
+  FaultEvent off;
+  off.kind = FaultKind::kRackPower;
+  off.at = fault_time(rng, horizon);
+  off.group = pick_rack(rng, nodes);
+  FaultEvent on;
+  on.kind = FaultKind::kRackRestore;
+  on.group = off.group;
+  on.at = std::min<Nanos>(off.at + util::msec(rng.range(40, 80)), horizon);
+  s.events.push_back(std::move(off));
+  s.events.push_back(std::move(on));
+  return s;
+}
+
 }  // namespace
+
+simnet::Topology campaign_wan_topology(int nodes) {
+  const int dcs = std::min(3, std::max(1, nodes - 1));
+  return simnet::make_wan_topology(nodes, dcs, util::msec(3),
+                                   /*wan_bps=*/1e9, /*full_mesh=*/true,
+                                   /*rack_size=*/2);
+}
 
 const char* fault_name(FaultKind kind) {
   switch (kind) {
@@ -384,6 +523,14 @@ const char* fault_name(FaultKind kind) {
       return "reorder";
     case FaultKind::kDuplicate:
       return "duplicate";
+    case FaultKind::kRackPower:
+      return "rack_power";
+    case FaultKind::kRackRestore:
+      return "rack_restore";
+    case FaultKind::kSwitchBrownout:
+      return "switch_brownout";
+    case FaultKind::kWanDown:
+      return "wan_down";
   }
   return "?";
 }
@@ -440,6 +587,25 @@ std::string describe(const FaultEvent& event) {
       os << " rate=" << event.rate << " for "
          << util::to_msec(event.duration) << "ms";
       break;
+    case FaultKind::kRackPower:
+    case FaultKind::kRackRestore: {
+      os << " hosts={";
+      for (size_t i = 0; i < event.group.size(); ++i) {
+        if (i) os << ",";
+        os << event.group[i];
+      }
+      os << "}";
+      break;
+    }
+    case FaultKind::kSwitchBrownout:
+      os << " dc=" << event.node << " rate=" << event.rate << " extra="
+         << util::to_msec(event.extra_latency) << "ms for "
+         << util::to_msec(event.duration) << "ms";
+      break;
+    case FaultKind::kWanDown:
+      os << " dc" << event.node << "<->dc" << event.peer << " for "
+         << util::to_msec(event.duration) << "ms";
+      break;
   }
   return os.str();
 }
@@ -483,6 +649,23 @@ const std::vector<Scenario>& scenarios() {
        /*client_level=*/false, /*kv_level=*/true},
       {"kv_lease_holder_crash", kv_lease_holder_crash, false,
        /*client_level=*/false, /*kv_level=*/true},
+      // WAN / correlated-fault scenarios (appended, same stability rule):
+      // every one runs on campaign_wan_topology with WAN-scaled timeouts.
+      // Loss and latency surges are multiring-safe; rack power (restarts),
+      // brownout (legitimate quarantines), and flaps (connectivity loss) are
+      // single-ring, and the kv variant drives the full KV stack.
+      {"wan_loss_bursts", wan_loss_bursts, true,
+       /*client_level=*/false, /*kv_level=*/false, /*wan=*/true},
+      {"wan_latency_surge", wan_latency_surge, true,
+       /*client_level=*/false, /*kv_level=*/false, /*wan=*/true},
+      {"rack_power", rack_power, false,
+       /*client_level=*/false, /*kv_level=*/false, /*wan=*/true},
+      {"switch_brownout", switch_brownout, false,
+       /*client_level=*/false, /*kv_level=*/false, /*wan=*/true},
+      {"dc_flap", dc_flap, false,
+       /*client_level=*/false, /*kv_level=*/false, /*wan=*/true},
+      {"kv_wan_rack_power", kv_wan_rack_power, false,
+       /*client_level=*/false, /*kv_level=*/true, /*wan=*/true},
   };
   return kScenarios;
 }

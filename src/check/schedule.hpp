@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "simnet/topology.hpp"
 #include "util/time.hpp"
 
 namespace accelring::check {
@@ -34,6 +35,12 @@ enum class FaultKind : uint8_t {
   kLinkDown,      ///< black-hole the `peer`->`node` link for `duration`
   kReorder,       ///< reorder `rate` of deliveries (up to `extra_latency` late)
   kDuplicate,     ///< duplicate `rate` of deliveries
+  // Correlated faults (WAN scenarios; see docs/TOPOLOGIES.md).
+  kRackPower,     ///< crash every host in `group` at once (rack power loss)
+  kRackRestore,   ///< cold-restart every downed host in `group`
+  kSwitchBrownout, ///< dc `node`: loss `rate` + `extra_latency` on every port
+                   ///< for `duration`
+  kWanDown,       ///< WAN link `node`<->`peer` (dc ids) down for `duration`
 };
 
 [[nodiscard]] const char* fault_name(FaultKind kind);
@@ -76,7 +83,18 @@ struct Scenario {
   /// correctness, session guarantees, and lease exclusivity under the
   /// schedule's faults. Single-ring only.
   bool kv_level = false;
+  /// Runs on the campaign's multi-datacenter topology
+  /// (campaign_wan_topology) with WAN-scaled protocol timeouts and a longer
+  /// drain, instead of the single-switch LAN fabric.
+  bool wan = false;
 };
+
+/// The 3-datacenter topology every WAN campaign scenario runs on: `nodes`
+/// hosts split contiguously over 3 metro-distance DCs (3 ms WAN propagation
+/// — far above the LAN's 300 ns, small enough that token rotation stays well
+/// inside the WAN campaign timeouts), racks of 2, full WAN mesh.
+/// Deterministic: correlated-fault group selection draws against this.
+[[nodiscard]] simnet::Topology campaign_wan_topology(int nodes);
 
 /// The scenario catalogue, in campaign order.
 [[nodiscard]] const std::vector<Scenario>& scenarios();

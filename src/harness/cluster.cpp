@@ -43,17 +43,31 @@ NodeSetup NodeSetup::for_profile(ImplProfile profile) {
 SimCluster::SimCluster(int num_nodes, simnet::FabricParams fabric,
                        protocol::ProtocolConfig cfg, ImplProfile profile,
                        uint64_t seed)
+    : SimCluster(simnet::Topology::single_dc(num_nodes), fabric, cfg, profile,
+                 seed) {}
+
+SimCluster::SimCluster(const simnet::Topology& topo,
+                       simnet::FabricParams fabric,
+                       protocol::ProtocolConfig cfg, ImplProfile profile,
+                       uint64_t seed)
     : owned_eq_(std::make_unique<simnet::EventQueue>()),
       eq_(*owned_eq_),
       fabric_(fabric),
       cfg_(cfg),
       profile_(profile),
       setup_(NodeSetup::for_profile(profile)),
-      net_(eq_, fabric, num_nodes, seed) {
-  init(num_nodes);
+      net_(eq_, fabric, topo, seed) {
+  init(topo.num_hosts());
 }
 
 SimCluster::SimCluster(simnet::EventQueue& eq, int num_nodes,
+                       simnet::FabricParams fabric,
+                       protocol::ProtocolConfig cfg, ImplProfile profile,
+                       uint64_t seed)
+    : SimCluster(eq, simnet::Topology::single_dc(num_nodes), fabric, cfg,
+                 profile, seed) {}
+
+SimCluster::SimCluster(simnet::EventQueue& eq, const simnet::Topology& topo,
                        simnet::FabricParams fabric,
                        protocol::ProtocolConfig cfg, ImplProfile profile,
                        uint64_t seed)
@@ -62,8 +76,8 @@ SimCluster::SimCluster(simnet::EventQueue& eq, int num_nodes,
       cfg_(cfg),
       profile_(profile),
       setup_(NodeSetup::for_profile(profile)),
-      net_(eq_, fabric, num_nodes, seed) {
-  init(num_nodes);
+      net_(eq_, fabric, topo, seed) {
+  init(topo.num_hosts());
 }
 
 void SimCluster::init(int num_nodes) {
@@ -87,6 +101,11 @@ void SimCluster::wire_node(int i) {
   // Socket buffers: 4 MB mirrors a tuned SO_RCVBUF for a high-rate daemon.
   node.process = std::make_unique<simnet::Process>(eq_, setup_.proc_costs,
                                                    4 * 1024 * 1024);
+  // Heterogeneous topologies: the host's constructed CPU speed, re-applied
+  // on every restart incarnation (a reboot does not change the hardware).
+  const double cpu_mult =
+      net_.topology().hosts[static_cast<size_t>(i)].cpu_multiplier;
+  if (cpu_mult != 1.0) node.process->set_cpu_multiplier(cpu_mult);
   node.host = std::make_unique<transport::SimHost>(net_, *node.process, i,
                                                    setup_.host_costs);
   node.engine = std::make_unique<protocol::Engine>(

@@ -148,10 +148,24 @@ class SimCluster {
              protocol::ProtocolConfig cfg, ImplProfile profile,
              uint64_t seed = 1);
 
+  /// Multi-datacenter cluster: one node per topology host, wired through the
+  /// topology's WAN links, with each host's CPU multiplier applied to its
+  /// Process at construction (and re-applied on restart). A single_dc
+  /// topology is bit-identical to the num_nodes constructor.
+  SimCluster(const simnet::Topology& topo, simnet::FabricParams fabric,
+             protocol::ProtocolConfig cfg, ImplProfile profile,
+             uint64_t seed = 1);
+
   /// Multi-ring assembly: share an external event queue so several clusters
   /// (one per ring, each with its own switch fabric) advance on one simulated
   /// clock. The queue must outlive the cluster.
   SimCluster(simnet::EventQueue& eq, int num_nodes,
+             simnet::FabricParams fabric, protocol::ProtocolConfig cfg,
+             ImplProfile profile, uint64_t seed = 1);
+
+  /// Shared-clock multi-datacenter cluster (multi-ring assembly over a
+  /// topology).
+  SimCluster(simnet::EventQueue& eq, const simnet::Topology& topo,
              simnet::FabricParams fabric, protocol::ProtocolConfig cfg,
              ImplProfile profile, uint64_t seed = 1);
 
@@ -204,6 +218,13 @@ class SimCluster {
   }
   [[nodiscard]] simnet::Process& process(int node) {
     return *nodes_[node].process;
+  }
+  /// The CPU multiplier `node` was constructed with (its topology host
+  /// spec; 1.0 for homogeneous clusters). The heal-all path of a fault
+  /// campaign resets to this, not to 1.0, so constructed heterogeneity
+  /// survives a heal.
+  [[nodiscard]] double base_cpu_multiplier(int node) const {
+    return net_.topology().hosts[static_cast<size_t>(node)].cpu_multiplier;
   }
   /// Per-node flight recorder (always attached to the node's engine).
   [[nodiscard]] util::Tracer& tracer(int node) { return *nodes_[node].tracer; }

@@ -6,14 +6,18 @@
 namespace accelring::harness {
 
 PointResult run_point(const PointConfig& config) {
-  SimCluster cluster(config.nodes, config.fabric, config.proto,
-                     config.profile, config.seed);
+  const simnet::Topology topo = config.topology.hosts.empty()
+                                    ? simnet::Topology::single_dc(config.nodes)
+                                    : config.topology;
+  SimCluster cluster(topo, config.fabric, config.proto, config.profile,
+                     config.seed);
+  const int nodes = cluster.size();
   // Always-on: recording is free of perturbation (obs_determinism_test pins
   // this), and every bench point then ships its latency histograms.
   cluster.enable_metrics();
   const Nanos window_start = config.warmup;
   const Nanos window_end = config.warmup + config.measure;
-  LatencyRecorder recorder(config.nodes, window_start, window_end);
+  LatencyRecorder recorder(nodes, window_start, window_end);
   recorder.attach(cluster);
 
   RateInjector::Options inject;
@@ -35,8 +39,8 @@ PointResult run_point(const PointConfig& config) {
   // All receivers see the same aggregate stream; report the mean across
   // nodes to smooth edge-of-window effects.
   double sum = 0;
-  for (int i = 0; i < config.nodes; ++i) sum += recorder.node_mbps(i);
-  r.achieved_mbps = sum / config.nodes;
+  for (int i = 0; i < nodes; ++i) sum += recorder.node_mbps(i);
+  r.achieved_mbps = sum / nodes;
   r.mean_latency = recorder.latency().mean();
   r.p50_latency = recorder.latency().percentile(0.5);
   r.p90_latency = recorder.latency().percentile(0.90);

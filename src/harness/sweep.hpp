@@ -17,6 +17,9 @@ namespace accelring::harness {
 
 struct PointConfig {
   int nodes = 8;
+  /// When non-empty, the cluster is built from this multi-datacenter
+  /// topology and `nodes` is ignored (the topology's host count rules).
+  simnet::Topology topology;
   simnet::FabricParams fabric = simnet::FabricParams::one_gig();
   protocol::ProtocolConfig proto;
   ImplProfile profile = ImplProfile::kLibrary;

@@ -33,6 +33,10 @@ using protocol::Nanos;
 struct MultiRingConfig {
   int rings = 2;           ///< K
   int nodes_per_ring = 8;  ///< logical nodes; each runs one engine per ring
+  /// When non-empty, every ring's fabric is built from this multi-datacenter
+  /// topology (one host per logical node; host count must equal
+  /// nodes_per_ring). Empty = the classic single-switch fabric.
+  simnet::Topology topology;
   simnet::FabricParams fabric = simnet::FabricParams::ten_gig();
   protocol::ProtocolConfig proto;
   ImplProfile profile = ImplProfile::kLibrary;

@@ -1,6 +1,8 @@
 #include "simnet/network.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <deque>
 
 namespace accelring::simnet {
 
@@ -43,16 +45,72 @@ FabricParams FabricParams::ten_gig() {
 
 Network::Network(EventQueue& eq, FabricParams params, int num_hosts,
                  uint64_t seed)
+    : Network(eq, params, Topology::single_dc(num_hosts), seed) {}
+
+Network::Network(EventQueue& eq, FabricParams params, Topology topo,
+                 uint64_t seed)
     : eq_(eq),
       params_(params),
-      num_hosts_(num_hosts),
+      topo_(std::move(topo)),
+      num_hosts_(topo_.num_hosts()),
+      multi_dc_(topo_.num_dcs > 1),
       rng_(seed),
-      sinks_(num_hosts),
-      nic_free_at_(num_hosts, 0),
-      port_free_at_(num_hosts, 0),
-      port_queued_bytes_(num_hosts, 0),
-      partition_(num_hosts, 0),
-      down_(num_hosts, false) {}
+      sinks_(num_hosts_),
+      nic_free_at_(num_hosts_, 0),
+      port_free_at_(num_hosts_, 0),
+      port_queued_bytes_(num_hosts_, 0),
+      host_bps_(num_hosts_, params_.link_bps),
+      dc_of_(num_hosts_, 0),
+      wan_(topo_.wan_links.size()),
+      dcs_(static_cast<size_t>(topo_.num_dcs)),
+      partition_(num_hosts_, 0),
+      down_(num_hosts_, false) {
+  assert(topo_.validate().empty() && "invalid topology");
+  for (int h = 0; h < num_hosts_; ++h) {
+    const HostSpec& spec = topo_.hosts[static_cast<size_t>(h)];
+    dc_of_[h] = spec.dc;
+    if (spec.nic_bps > 0) host_bps_[h] = spec.nic_bps;
+  }
+  dc_hosts_.resize(static_cast<size_t>(topo_.num_dcs));
+  for (int h = 0; h < num_hosts_; ++h) {
+    dc_hosts_[static_cast<size_t>(dc_of_[h])].push_back(h);
+  }
+  if (multi_dc_) build_routing();
+}
+
+void Network::build_routing() {
+  const size_t dcs = static_cast<size_t>(topo_.num_dcs);
+  routing_.assign(dcs, std::vector<std::vector<WanEdge>>(dcs));
+  paths_.assign(dcs, std::vector<std::vector<WanEdge>>(dcs));
+  // Adjacency in link-index order: BFS discovery order (hence shortest-path
+  // tie-breaking) is deterministic for a given topology.
+  std::vector<std::vector<WanEdge>> adj(dcs);
+  for (size_t l = 0; l < topo_.wan_links.size(); ++l) {
+    const WanLinkParams& w = topo_.wan_links[l];
+    adj[static_cast<size_t>(w.dc_a)].push_back(
+        {static_cast<int>(l), 0, w.dc_b});
+    adj[static_cast<size_t>(w.dc_b)].push_back(
+        {static_cast<int>(l), 1, w.dc_a});
+  }
+  for (size_t root = 0; root < dcs; ++root) {
+    std::vector<bool> seen(dcs, false);
+    std::deque<int> frontier{static_cast<int>(root)};
+    seen[root] = true;
+    while (!frontier.empty()) {
+      const int dc = frontier.front();
+      frontier.pop_front();
+      for (const WanEdge& e : adj[static_cast<size_t>(dc)]) {
+        if (seen[static_cast<size_t>(e.to_dc)]) continue;
+        seen[static_cast<size_t>(e.to_dc)] = true;
+        routing_[root][static_cast<size_t>(dc)].push_back(e);
+        paths_[root][static_cast<size_t>(e.to_dc)] =
+            paths_[root][static_cast<size_t>(dc)];
+        paths_[root][static_cast<size_t>(e.to_dc)].push_back(e);
+        frontier.push_back(e.to_dc);
+      }
+    }
+  }
+}
 
 void Network::attach(int host, DeliveryFn fn) {
   assert(host >= 0 && host < num_hosts_);
@@ -75,21 +133,117 @@ void Network::send(int src, int dst, SocketId sock,
   when = std::max(when, eq_.now());
   const Nanos nic_start =
       std::max(when + params_.host_tx_latency, nic_free_at_[src]);
-  const Nanos tx_done = nic_start + params_.serialization_delay(on_wire);
+  const Nanos tx_done = nic_start + ser_delay(host_bps_[src], on_wire);
   nic_free_at_[src] = tx_done;
   const Nanos arrival = tx_done + params_.prop_delay;  // last bit at switch
 
   auto payload = std::make_shared<const std::vector<std::byte>>(std::move(data));
   eq_.schedule(arrival, [this, src, dst, sock, payload, arrival, on_wire,
                          frame_count] {
+    const int src_dc = dc_of_[src];
     if (dst == kMulticast) {
-      for (int h = 0; h < num_hosts_; ++h) {
+      // Local fan-out first (host-index order — identical to the classic
+      // single-switch loop when there is only one DC), then one copy down
+      // each WAN tree edge.
+      for (const int h : dc_hosts_[static_cast<size_t>(src_dc)]) {
         if (h == src) continue;
         forward(src, h, sock, payload, arrival, on_wire, frame_count);
       }
-    } else {
+      if (multi_dc_) {
+        wan_fanout(src, src_dc, src_dc, sock, payload, arrival, on_wire,
+                   frame_count);
+      }
+    } else if (!multi_dc_ || dc_of_[dst] == src_dc) {
       forward(src, dst, sock, payload, arrival, on_wire, frame_count);
+    } else {
+      wan_unicast(src, dst, sock, payload, 0, arrival, on_wire, frame_count);
     }
+  });
+}
+
+Nanos Network::wan_transmit(int link, int dir, int from_dc, Nanos ready,
+                            size_t bytes_on_wire, size_t frame_count) {
+  WanState& ws = wan_[static_cast<size_t>(link)];
+  const WanLinkParams& lp = topo_.wan_links[static_cast<size_t>(link)];
+  if (ws.down) {
+    ++stats_.drops_wan;
+    return -1;
+  }
+  // The egress switch's brownout hits its WAN ports like any other port.
+  const DcState& dc = dcs_[static_cast<size_t>(from_dc)];
+  Nanos depart = ready;
+  if (dc.brown_loss > 0) {
+    for (size_t f = 0; f < frame_count; ++f) {
+      if (rng_.chance(dc.brown_loss)) {
+        ++stats_.drops_wan;
+        return -1;
+      }
+    }
+  }
+  depart += dc.brown_extra;
+  if (lp.loss_rate > 0) {
+    for (size_t f = 0; f < frame_count; ++f) {
+      if (rng_.chance(lp.loss_rate)) {
+        ++stats_.drops_wan;
+        return -1;
+      }
+    }
+  }
+  WanDirState& d = ws.dir[dir];
+  if (d.queued_bytes + bytes_on_wire > lp.buffer_bytes) {
+    ++stats_.drops_wan;
+    return -1;
+  }
+  d.queued_bytes += bytes_on_wire;
+  const double bps = dir == 0 ? lp.bps_ab : lp.bps_ba;
+  const Nanos start = std::max(depart + params_.switch_latency, d.free_at);
+  const Nanos done = start + ser_delay(bps, bytes_on_wire);
+  d.free_at = done;
+  ++stats_.wan_datagrams;
+  stats_.wan_bytes += bytes_on_wire;
+  eq_.schedule(done, [this, link, dir, bytes_on_wire] {
+    wan_[static_cast<size_t>(link)].dir[dir].queued_bytes -= bytes_on_wire;
+  });
+  return done + lp.prop_delay;
+}
+
+void Network::wan_fanout(int src, int root_dc, int cur_dc, SocketId sock,
+                         const Payload& data, Nanos ready,
+                         size_t bytes_on_wire, size_t frame_count) {
+  for (const WanEdge& e :
+       routing_[static_cast<size_t>(root_dc)][static_cast<size_t>(cur_dc)]) {
+    const Nanos at =
+        wan_transmit(e.link, e.dir, cur_dc, ready, bytes_on_wire, frame_count);
+    if (at < 0) continue;
+    eq_.schedule(at, [this, src, root_dc, child = e.to_dc, sock, data, at,
+                      bytes_on_wire, frame_count] {
+      for (const int h : dc_hosts_[static_cast<size_t>(child)]) {
+        forward(src, h, sock, data, at, bytes_on_wire, frame_count);
+      }
+      wan_fanout(src, root_dc, child, sock, data, at, bytes_on_wire,
+                 frame_count);
+    });
+  }
+}
+
+void Network::wan_unicast(int src, int dst, SocketId sock, const Payload& data,
+                          size_t hop, Nanos ready, size_t bytes_on_wire,
+                          size_t frame_count) {
+  const std::vector<WanEdge>& path =
+      paths_[static_cast<size_t>(dc_of_[src])][static_cast<size_t>(
+          dc_of_[dst])];
+  if (hop == path.size()) {
+    forward(src, dst, sock, data, ready, bytes_on_wire, frame_count);
+    return;
+  }
+  const WanEdge& e = path[hop];
+  const int from_dc = hop == 0 ? dc_of_[src] : path[hop - 1].to_dc;
+  const Nanos at =
+      wan_transmit(e.link, e.dir, from_dc, ready, bytes_on_wire, frame_count);
+  if (at < 0) return;
+  eq_.schedule(at, [this, src, dst, sock, data, hop, at, bytes_on_wire,
+                    frame_count] {
+    wan_unicast(src, dst, sock, data, hop + 1, at, bytes_on_wire, frame_count);
   });
 }
 
@@ -130,6 +284,17 @@ void Network::forward(int src, int dst, SocketId sock, const Payload& data,
       }
     }
   }
+  // Brownout at the delivering switch: every output port drops and delays.
+  // Drawn only when armed, so pre-existing runs see an unchanged rng stream.
+  const DcState& dcf = dcs_[static_cast<size_t>(dc_of_[dst])];
+  if (dcf.brown_loss > 0) {
+    for (size_t f = 0; f < frame_count; ++f) {
+      if (rng_.chance(dcf.brown_loss)) {
+        ++stats_.drops_wan;
+        return;
+      }
+    }
+  }
   // Output-port tail drop: if the queue cannot hold the whole datagram, it is
   // dropped. (Fragments of one datagram are treated as a unit; per-fragment
   // partial drops would lose the datagram anyway.)
@@ -140,8 +305,9 @@ void Network::forward(int src, int dst, SocketId sock, const Payload& data,
   port_queued_bytes_[dst] += bytes_on_wire;
 
   const Nanos start =
-      std::max(arrival + params_.switch_latency, port_free_at_[dst]);
-  const Nanos done = start + params_.serialization_delay(bytes_on_wire);
+      std::max(arrival + params_.switch_latency + dcf.brown_extra,
+               port_free_at_[dst]);
+  const Nanos done = start + ser_delay(host_bps_[dst], bytes_on_wire);
   port_free_at_[dst] = done;
 
   eq_.schedule(done, [this, dst, bytes_on_wire] {
@@ -225,11 +391,40 @@ void Network::set_reorder(double p, Nanos max_extra) {
 
 void Network::set_duplicate(double p) { duplicate_rate_ = p; }
 
+void Network::set_wan_down(int dc_a, int dc_b, bool down) {
+  for (size_t l = 0; l < topo_.wan_links.size(); ++l) {
+    const WanLinkParams& w = topo_.wan_links[l];
+    if ((w.dc_a == dc_a && w.dc_b == dc_b) ||
+        (w.dc_a == dc_b && w.dc_b == dc_a)) {
+      wan_[l].down = down;
+    }
+  }
+}
+
+bool Network::wan_down(int dc_a, int dc_b) const {
+  for (size_t l = 0; l < topo_.wan_links.size(); ++l) {
+    const WanLinkParams& w = topo_.wan_links[l];
+    if ((w.dc_a == dc_a && w.dc_b == dc_b) ||
+        (w.dc_a == dc_b && w.dc_b == dc_a)) {
+      return wan_[l].down;
+    }
+  }
+  return false;
+}
+
+void Network::set_dc_brownout(int dc, double loss, Nanos extra) {
+  assert(dc >= 0 && dc < static_cast<int>(dcs_.size()));
+  dcs_[static_cast<size_t>(dc)].brown_loss = loss;
+  dcs_[static_cast<size_t>(dc)].brown_extra = extra;
+}
+
 void Network::clear_link_faults() {
   link_rules_.clear();
   reorder_rate_ = 0.0;
   reorder_jitter_ = 0;
   duplicate_rate_ = 0.0;
+  for (WanState& w : wan_) w.down = false;
+  for (DcState& d : dcs_) d = DcState{};
 }
 
 void Network::set_partition(int host, int id) {

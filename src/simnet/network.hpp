@@ -20,6 +20,14 @@
 // Multicast is modelled as switch replication to every port except the
 // ingress port (senders do not hear their own multicasts; the protocol engine
 // self-inserts the messages it sends).
+//
+// A Topology (topology.hpp) generalises the model to several datacenters:
+// each DC has its own switch, DCs are joined by WAN links with per-direction
+// bandwidth, their own propagation, buffers, and loss, and hosts may carry
+// per-host NIC rates. Traffic between DCs follows shortest paths over the DC
+// graph (BFS, deterministic tie-break); a multicast crosses each WAN link of
+// the source DC's BFS tree exactly once and is re-fanned out by the receiving
+// switch. A single-DC topology is bit-identical to the classic constructor.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,7 @@
 #include <vector>
 
 #include "simnet/event_queue.hpp"
+#include "simnet/topology.hpp"
 #include "util/rng.hpp"
 
 namespace accelring::simnet {
@@ -96,9 +105,12 @@ struct NetworkStats {
   uint64_t drops_random = 0;         ///< injected random loss
   uint64_t drops_fault = 0;          ///< partition / host-down drops
   uint64_t drops_link = 0;           ///< directed link-loss / link-down drops
+  uint64_t drops_wan = 0;            ///< WAN link loss/buffer/down + brownout
   uint64_t duplicates = 0;           ///< injected duplicate deliveries
   uint64_t reordered = 0;            ///< deliveries delayed by reorder fault
   uint64_t wire_bytes = 0;           ///< bytes serialized at sender NICs
+  uint64_t wan_datagrams = 0;        ///< datagrams accepted onto a WAN link
+  uint64_t wan_bytes = 0;            ///< wire bytes serialized onto WAN links
 };
 
 class Network {
@@ -107,7 +119,14 @@ class Network {
   /// Called when a datagram reaches a host's socket (after host_rx_latency).
   using DeliveryFn = std::function<void(SocketId sock, const Payload& data)>;
 
+  /// Classic single-switch fabric: equivalent to a single_dc Topology.
   Network(EventQueue& eq, FabricParams params, int num_hosts,
+          uint64_t seed = 1);
+
+  /// Multi-datacenter fabric. The topology must validate (asserted); a
+  /// single-DC topology with default host specs behaves bit-identically to
+  /// the classic constructor (same rng stream, same event timing).
+  Network(EventQueue& eq, FabricParams params, Topology topo,
           uint64_t seed = 1);
 
   /// Register the delivery callback for `host` (typically Process::enqueue).
@@ -122,6 +141,7 @@ class Network {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] int num_hosts() const { return num_hosts_; }
   [[nodiscard]] const FabricParams& params() const { return params_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
 
   // --- fault injection -----------------------------------------------------
 
@@ -134,6 +154,14 @@ class Network {
   /// — the condition adaptive failure detection must ride through without
   /// ejecting live members). 0 restores the base fabric latency.
   void set_extra_latency(Nanos extra) { extra_latency_ = extra; }
+  /// Shift the extra delivery latency by `delta` (may be negative). Shifts
+  /// compose additively — two overlapping congestion episodes add up — and
+  /// the result clamps at 0 so a stale negative shift (e.g. one whose onset
+  /// was absorbed by a heal-all) can never make the fabric faster than its
+  /// base latency.
+  void add_extra_latency(Nanos delta) {
+    extra_latency_ = std::max<Nanos>(0, extra_latency_ + delta);
+  }
   [[nodiscard]] Nanos extra_latency() const { return extra_latency_; }
 
   /// Assign `host` to partition `id`; traffic crosses only equal ids.
@@ -166,8 +194,23 @@ class Network {
   /// the first (retransmitting middlebox / flaky switch).
   void set_duplicate(double p);
 
-  /// Remove every link-loss/link-down rule and disable reorder/duplicate
-  /// (the heal-all path at a campaign horizon).
+  // --- correlated-fault primitives (multi-datacenter topologies) -----------
+
+  /// Take every WAN link between `dc_a` and `dc_b` down (both directions) or
+  /// bring them back up. Routing is static: traffic for a downed link drops
+  /// rather than detouring (the DC-flap scenario toggles this).
+  void set_wan_down(int dc_a, int dc_b, bool down);
+  [[nodiscard]] bool wan_down(int dc_a, int dc_b) const;
+
+  /// Switch brownout: every port of `dc`'s switch degrades — frames through
+  /// it drop with probability `loss` and surviving traffic picks up `extra`
+  /// forwarding latency. Applies to intra-DC traffic, traffic delivered into
+  /// the DC, and traffic the DC forwards onto WAN links. (0, 0) heals.
+  void set_dc_brownout(int dc, double loss, Nanos extra);
+
+  /// Remove every link-loss/link-down rule, disable reorder/duplicate, bring
+  /// every WAN link back up, and clear every brownout (the heal-all path at
+  /// a campaign horizon).
   void clear_link_faults();
 
   /// Targeted fault injection: return true to drop this (src, dst, sock,
@@ -186,20 +229,72 @@ class Network {
     bool down = false;
   };
 
+  /// One hop over the DC graph: WAN link index, direction (0 = a->b), and
+  /// the DC the hop lands in.
+  struct WanEdge {
+    int link = 0;
+    int dir = 0;
+    int to_dc = 0;
+  };
+  /// Per-direction WAN link state (its own serializer and egress queue).
+  struct WanDirState {
+    Nanos free_at = 0;
+    size_t queued_bytes = 0;
+  };
+  struct WanState {
+    WanDirState dir[2];
+    bool down = false;
+  };
+  /// Per-DC switch fault state (brownout).
+  struct DcState {
+    double brown_loss = 0.0;
+    Nanos brown_extra = 0;
+  };
+
   void forward(int src, int dst, SocketId sock, const Payload& data,
                Nanos arrival, size_t bytes_on_wire, size_t frame_count);
+  /// Put a datagram onto one direction of a WAN link, departing `from_dc` at
+  /// `ready`. Returns the arrival time at the far switch, or -1 if the
+  /// datagram was dropped (link down, loss, brownout, or full buffer).
+  Nanos wan_transmit(int link, int dir, int from_dc, Nanos ready,
+                     size_t bytes_on_wire, size_t frame_count);
+  /// Deliver a multicast into every DC below `cur_dc` in the source DC's
+  /// BFS tree (each WAN link crossed once, local fan-out at each switch).
+  void wan_fanout(int src, int root_dc, int cur_dc, SocketId sock,
+                  const Payload& data, Nanos ready, size_t bytes_on_wire,
+                  size_t frame_count);
+  /// Walk a unicast along the precomputed root->dst path, hop by hop.
+  void wan_unicast(int src, int dst, SocketId sock, const Payload& data,
+                   size_t hop, Nanos ready, size_t bytes_on_wire,
+                   size_t frame_count);
+  void build_routing();
+  [[nodiscard]] Nanos ser_delay(double bps, size_t bytes_on_wire) const {
+    return static_cast<Nanos>(static_cast<double>(bytes_on_wire) * 8.0 / bps *
+                              1e9);
+  }
   [[nodiscard]] LinkRule* find_rule(int src, int dst);
   /// Strongest rule matching a concrete (src, dst) pair, wildcards included.
   [[nodiscard]] const LinkRule* match_rule(int src, int dst) const;
 
   EventQueue& eq_;
   FabricParams params_;
+  Topology topo_;
   int num_hosts_;
+  bool multi_dc_ = false;
   util::Rng rng_;
   std::vector<DeliveryFn> sinks_;
   std::vector<Nanos> nic_free_at_;        // per host: uplink serialization
   std::vector<Nanos> port_free_at_;       // per host: switch downlink port
   std::vector<size_t> port_queued_bytes_; // per host: downlink queue occupancy
+  std::vector<double> host_bps_;          // per host: NIC line rate
+  std::vector<int> dc_of_;                // per host: datacenter index
+  std::vector<std::vector<int>> dc_hosts_;  // per DC: member hosts, in order
+  std::vector<WanState> wan_;             // per WAN link
+  std::vector<DcState> dcs_;              // per DC: brownout state
+  /// routing_[root][dc]: BFS-tree child edges of `dc` in the tree rooted at
+  /// `root` (multicast); paths_[root][dc]: edge sequence root -> dc (unicast).
+  std::vector<std::vector<std::vector<WanEdge>>> routing_;
+  std::vector<std::vector<std::vector<WanEdge>>> paths_;
   std::vector<int> partition_;
   std::vector<bool> down_;
   Nanos extra_latency_ = 0;

@@ -1,0 +1,139 @@
+#include "simnet/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace accelring::simnet {
+
+Topology Topology::single_dc(int num_hosts) {
+  Topology t;
+  t.num_dcs = 1;
+  t.hosts.assign(static_cast<size_t>(num_hosts), HostSpec{});
+  return t;
+}
+
+std::vector<int> Topology::dc_hosts(int dc) const {
+  std::vector<int> out;
+  for (int h = 0; h < num_hosts(); ++h) {
+    if (hosts[static_cast<size_t>(h)].dc == dc) out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> Topology::racks() const {
+  // Group by (dc, rack); groups in (dc, rack) order, members in host order.
+  std::vector<std::pair<std::pair<int, int>, std::vector<int>>> groups;
+  for (int h = 0; h < num_hosts(); ++h) {
+    const auto key = std::make_pair(hosts[static_cast<size_t>(h)].dc,
+                                    hosts[static_cast<size_t>(h)].rack);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&key](const auto& g) { return g.first == key; });
+    if (it == groups.end()) {
+      groups.push_back({key, {h}});
+    } else {
+      it->second.push_back(h);
+    }
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::vector<int>> out;
+  out.reserve(groups.size());
+  for (auto& g : groups) out.push_back(std::move(g.second));
+  return out;
+}
+
+std::string Topology::validate() const {
+  if (hosts.empty()) return "topology has no hosts";
+  if (num_dcs < 1) return "num_dcs must be >= 1";
+  for (int h = 0; h < num_hosts(); ++h) {
+    const HostSpec& s = hosts[static_cast<size_t>(h)];
+    if (s.dc < 0 || s.dc >= num_dcs) {
+      return "host " + std::to_string(h) + " references dc " +
+             std::to_string(s.dc) + " outside [0," +
+             std::to_string(num_dcs) + ")";
+    }
+    if (s.nic_bps < 0) {
+      return "host " + std::to_string(h) + " has negative nic_bps";
+    }
+    if (s.cpu_multiplier <= 0) {
+      return "host " + std::to_string(h) + " has non-positive cpu_multiplier";
+    }
+  }
+  for (size_t l = 0; l < wan_links.size(); ++l) {
+    const WanLinkParams& w = wan_links[l];
+    if (w.dc_a < 0 || w.dc_a >= num_dcs || w.dc_b < 0 || w.dc_b >= num_dcs) {
+      return "wan link " + std::to_string(l) + " endpoint outside [0," +
+             std::to_string(num_dcs) + ")";
+    }
+    if (w.dc_a == w.dc_b) {
+      return "wan link " + std::to_string(l) + " is a self-link";
+    }
+    if (w.bps_ab <= 0 || w.bps_ba <= 0) {
+      return "wan link " + std::to_string(l) + " has non-positive bandwidth";
+    }
+    if (w.prop_delay < 0) {
+      return "wan link " + std::to_string(l) + " has negative propagation";
+    }
+    if (w.buffer_bytes == 0) {
+      return "wan link " + std::to_string(l) + " has a zero-byte buffer";
+    }
+    if (w.loss_rate < 0 || w.loss_rate > 1) {
+      return "wan link " + std::to_string(l) + " loss outside [0,1]";
+    }
+  }
+  // Connectivity: every DC must be reachable from DC 0 over the WAN graph,
+  // otherwise some host can never exchange traffic with some other host.
+  std::vector<bool> seen(static_cast<size_t>(num_dcs), false);
+  std::deque<int> frontier{0};
+  seen[0] = true;
+  while (!frontier.empty()) {
+    const int dc = frontier.front();
+    frontier.pop_front();
+    for (const WanLinkParams& w : wan_links) {
+      const int other = w.dc_a == dc ? w.dc_b : (w.dc_b == dc ? w.dc_a : -1);
+      if (other >= 0 && !seen[static_cast<size_t>(other)]) {
+        seen[static_cast<size_t>(other)] = true;
+        frontier.push_back(other);
+      }
+    }
+  }
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    if (!seen[static_cast<size_t>(dc)]) {
+      return "dc " + std::to_string(dc) +
+             " is unreachable from dc 0 over the wan links";
+    }
+  }
+  return "";
+}
+
+Topology make_wan_topology(int num_hosts, int num_dcs, Nanos wan_prop,
+                           double wan_bps, bool full_mesh, int rack_size) {
+  Topology t;
+  t.num_dcs = num_dcs;
+  const int base = num_hosts / num_dcs;
+  const int extra = num_hosts % num_dcs;
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    const int count = base + (dc < extra ? 1 : 0);
+    for (int i = 0; i < count; ++i) {
+      HostSpec s;
+      s.dc = dc;
+      s.rack = rack_size > 0 ? i / rack_size : 0;
+      t.hosts.push_back(s);
+    }
+  }
+  for (int a = 0; a < num_dcs; ++a) {
+    const int b_end = full_mesh ? num_dcs : std::min(a + 2, num_dcs);
+    for (int b = a + 1; b < b_end; ++b) {
+      WanLinkParams w;
+      w.dc_a = a;
+      w.dc_b = b;
+      w.bps_ab = wan_bps;
+      w.bps_ba = wan_bps;
+      w.prop_delay = wan_prop;
+      t.wan_links.push_back(w);
+    }
+  }
+  return t;
+}
+
+}  // namespace accelring::simnet

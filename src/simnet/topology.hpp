@@ -1,0 +1,95 @@
+// Multi-datacenter topology description for the simulated fabric.
+//
+// A Topology extends the single-switch model (network.hpp) to a set of
+// datacenters, each with its own store-and-forward switch, joined by explicit
+// WAN links. Each WAN link has independent per-direction bandwidth
+// (asymmetric provisioning is the norm between sites), its own propagation
+// delay (10-100 ms for true WAN, ~1-3 ms for metro), its own output buffer,
+// and its own loss rate. Hosts carry per-host NIC rates and CPU multipliers
+// so one cluster can mix fast and slow machines at construction time.
+//
+// The same description is consumed by three layers: Network (packet timing
+// and routing), SimCluster (per-host CPU multipliers), and the campaign DSL
+// (correlated-fault group selection — racks for power loss, DCs for switch
+// brownout, WAN links for flaps).
+//
+// Routing is shortest-path over the DC graph, computed once at construction
+// by BFS with deterministic (link-index order) tie-breaking. Multicast
+// crosses each WAN link of the source's BFS tree exactly once and is fanned
+// back out by the receiving DC's switch — the bandwidth model a multicast-
+// capable WAN overlay (or per-DC repeater daemon) would give.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace accelring::simnet {
+
+using util::Nanos;
+
+/// One inter-datacenter link. Bandwidth is per direction: `bps_ab` carries
+/// dc_a -> dc_b traffic, `bps_ba` the reverse (asymmetric by design).
+struct WanLinkParams {
+  int dc_a = 0;
+  int dc_b = 1;
+  double bps_ab = 1e9;
+  double bps_ba = 1e9;
+  Nanos prop_delay = util::msec(10);        ///< one-way propagation
+  size_t buffer_bytes = 2 * 1024 * 1024;    ///< per-direction egress queue
+  double loss_rate = 0.0;                   ///< iid per-frame drop probability
+};
+
+/// Per-host placement and hardware description.
+struct HostSpec {
+  int dc = 0;                ///< datacenter (switch) this host hangs off
+  int rack = 0;              ///< rack within the DC (correlated power domain)
+  double nic_bps = 0;        ///< host<->switch line rate; 0 = fabric default
+  double cpu_multiplier = 1.0;  ///< Process CPU cost scale (1 = baseline)
+};
+
+struct Topology {
+  int num_dcs = 1;
+  std::vector<HostSpec> hosts;
+  std::vector<WanLinkParams> wan_links;
+
+  /// The trivial topology: every host on one switch, homogeneous hardware.
+  /// Network built from this is bit-identical to the pre-topology model.
+  [[nodiscard]] static Topology single_dc(int num_hosts);
+
+  [[nodiscard]] int num_hosts() const { return static_cast<int>(hosts.size()); }
+  /// True when the topology degenerates to the single-switch model.
+  [[nodiscard]] bool single_switch() const {
+    return num_dcs <= 1 && wan_links.empty();
+  }
+  [[nodiscard]] int dc_of(int host) const {
+    return hosts[static_cast<size_t>(host)].dc;
+  }
+  /// Hosts of one DC, in host-index order.
+  [[nodiscard]] std::vector<int> dc_hosts(int dc) const;
+  /// Hosts grouped by (dc, rack), groups ordered by (dc, rack) — the
+  /// correlated power-failure domains. Deterministic for a given topology.
+  [[nodiscard]] std::vector<std::vector<int>> racks() const;
+
+  /// "" when the topology is well-formed; otherwise a human-readable reason.
+  /// Rejects out-of-range link endpoints / host DCs, non-positive rates,
+  /// loss outside [0,1], self-links, empty host sets — and any DC that is
+  /// unreachable from DC 0 over the WAN graph (an unreachable host can never
+  /// participate, so such configurations must not pass).
+  [[nodiscard]] std::string validate() const;
+};
+
+/// Convenience builder: `num_hosts` split contiguously and near-evenly over
+/// `num_dcs` datacenters (first `num_hosts % num_dcs` DCs get the extra
+/// host), racks of `rack_size` hosts within each DC, and symmetric WAN links
+/// of `wan_bps` / `wan_prop` between the DCs — a full mesh, or a chain when
+/// `full_mesh` is false. Hosts inherit the fabric NIC rate and CPU 1.0.
+[[nodiscard]] Topology make_wan_topology(int num_hosts, int num_dcs,
+                                         Nanos wan_prop, double wan_bps = 1e9,
+                                         bool full_mesh = true,
+                                         int rack_size = 2);
+
+}  // namespace accelring::simnet

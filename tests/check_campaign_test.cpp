@@ -305,6 +305,47 @@ TEST(CampaignTest, RegressionSeedCorpusClean) {
 #endif
 }
 
+// The WAN corpus replays only the multi-datacenter scenarios (they carry
+// their own seeds file: a WAN seed stresses token rotation over 3 ms links
+// and correlated rack/switch/link faults, which the LAN scenarios never
+// exercise). Kept separate from regression.seeds so LAN replay time does not
+// grow with WAN hardening work.
+TEST(CampaignTest, WanSeedCorpusClean) {
+#ifndef ACCELRING_WAN_SEED_CORPUS
+  GTEST_SKIP() << "wan corpus path not configured";
+#else
+  std::vector<uint64_t> corpus;
+  std::ifstream in(ACCELRING_WAN_SEED_CORPUS);
+  ASSERT_TRUE(in.is_open()) << ACCELRING_WAN_SEED_CORPUS;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    corpus.push_back(std::strtoull(line.c_str() + start, nullptr, 0));
+  }
+  ASSERT_FALSE(corpus.empty());
+
+  CampaignOptions opt;
+  opt.run = fast_run_options();
+  opt.seeds_per_scenario = 0;
+  opt.extra_seeds = corpus;
+  for (const Scenario& sc : scenarios()) {
+    if (sc.wan) opt.only.push_back(sc.name);
+  }
+  ASSERT_GE(opt.only.size(), 5u);  // the WAN catalogue
+  const CampaignResult result = run_campaign(opt);
+  EXPECT_EQ(result.failures, 0);
+  EXPECT_EQ(result.runs, static_cast<int>(opt.only.size() * corpus.size()));
+  for (const FailureCase& fc : result.cases) {
+    ADD_FAILURE() << fc.scenario << " seed=" << fc.seed << "\n"
+                  << describe(fc.schedule) << "\n"
+                  << fc.report;
+  }
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // Mutation: an injected merge-ordering bug must be caught by the oracles and
 // shrunk to a minimal (<= 5 event) reproducer.

@@ -1,0 +1,180 @@
+// Property tests for the Topology builder and the multi-DC fabric.
+//
+// 1. Validation == reachability: across hundreds of randomly wired DC
+//    graphs, validate() accepts exactly the configurations where every DC
+//    can reach DC 0 over the WAN links (checked independently by
+//    union-find), so no unreachable-host configuration ever passes.
+// 2. Determinism: on random valid topologies, two fabrics built from the
+//    same seed produce bit-identical delivery traces for the same sends —
+//    the property every campaign reproducer and regression seed relies on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "simnet/topology.hpp"
+#include "util/rng.hpp"
+
+namespace accelring::simnet {
+namespace {
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(static_cast<size_t>(n)) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      x = parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent[static_cast<size_t>(find(a))] = find(b); }
+};
+
+/// Random topology with well-formed parameters; only the *wiring* varies,
+/// so reachability is the single property deciding validity.
+Topology random_topology(util::Rng& rng) {
+  Topology topo;
+  topo.num_dcs = 1 + static_cast<int>(rng.below(5));
+  const int hosts = 2 + static_cast<int>(rng.below(9));
+  for (int h = 0; h < hosts; ++h) {
+    HostSpec spec;
+    spec.dc = static_cast<int>(rng.below(static_cast<uint64_t>(topo.num_dcs)));
+    spec.rack = static_cast<int>(rng.below(3));
+    if (rng.chance(0.3)) spec.nic_bps = 1e8 * static_cast<double>(1 + rng.below(10));
+    spec.cpu_multiplier = 0.5 + 0.25 * static_cast<double>(rng.below(7));
+    topo.hosts.push_back(spec);
+  }
+  // Each possible DC pair gets a link with probability 1/2: dense enough to
+  // often connect, sparse enough to often strand a DC.
+  for (int a = 0; a < topo.num_dcs; ++a) {
+    for (int b = a + 1; b < topo.num_dcs; ++b) {
+      if (!rng.chance(0.5)) continue;
+      WanLinkParams link{a, b};
+      link.bps_ab = 1e8 * static_cast<double>(1 + rng.below(100));
+      link.bps_ba = 1e8 * static_cast<double>(1 + rng.below(100));
+      link.prop_delay = util::usec(10 + rng.below(100'000));
+      link.buffer_bytes = 64 * 1024 * (1 + rng.below(32));
+      topo.wan_links.push_back(link);
+    }
+  }
+  return topo;
+}
+
+TEST(TopologyFuzz, ValidationEqualsReachability) {
+  util::Rng rng(0xf00d);
+  int valid = 0, invalid = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const Topology topo = random_topology(rng);
+    UnionFind uf(topo.num_dcs);
+    for (const WanLinkParams& w : topo.wan_links) uf.unite(w.dc_a, w.dc_b);
+    bool reachable = true;
+    for (int dc = 0; dc < topo.num_dcs; ++dc) {
+      reachable = reachable && uf.find(dc) == uf.find(0);
+    }
+    const std::string err = topo.validate();
+    EXPECT_EQ(err.empty(), reachable)
+        << "iter " << iter << ": dcs=" << topo.num_dcs
+        << " links=" << topo.wan_links.size() << " -> " << err;
+    (err.empty() ? valid : invalid) += 1;
+  }
+  // The generator must actually exercise both outcomes.
+  EXPECT_GT(valid, 30);
+  EXPECT_GT(invalid, 30);
+}
+
+TEST(TopologyFuzz, MalformedParametersNeverPass) {
+  util::Rng rng(0xbad);
+  for (int iter = 0; iter < 100; ++iter) {
+    Topology topo = random_topology(rng);
+    if (!topo.validate().empty()) continue;  // only corrupt valid ones
+    Topology broken = topo;
+    switch (rng.below(5)) {
+      case 0:
+        broken.hosts[rng.below(broken.hosts.size())].dc = broken.num_dcs;
+        break;
+      case 1:
+        broken.hosts[rng.below(broken.hosts.size())].cpu_multiplier = 0;
+        break;
+      case 2:
+        broken.hosts[rng.below(broken.hosts.size())].nic_bps = -1;
+        break;
+      case 3:
+        if (broken.wan_links.empty()) continue;
+        broken.wan_links[rng.below(broken.wan_links.size())].loss_rate = 1.01;
+        break;
+      default:
+        if (broken.wan_links.empty()) continue;
+        broken.wan_links[rng.below(broken.wan_links.size())].buffer_bytes = 0;
+        break;
+    }
+    EXPECT_FALSE(broken.validate().empty()) << "iter " << iter;
+  }
+}
+
+struct TraceEntry {
+  int host;
+  Nanos at;
+  size_t size;
+  bool operator==(const TraceEntry& o) const {
+    return host == o.host && at == o.at && size == o.size;
+  }
+};
+
+/// Drive `sends` random datagrams (drawn from `workload_seed`) through a
+/// fabric built on `topo` with `fabric_seed`, recording every delivery.
+std::vector<TraceEntry> run_trace(const Topology& topo, uint64_t fabric_seed,
+                                  uint64_t workload_seed, int sends) {
+  EventQueue eq;
+  FabricParams params = FabricParams::one_gig();
+  params.loss_rate = 0.05;  // exercises the rng stream too
+  Network net(eq, params, topo, fabric_seed);
+  std::vector<TraceEntry> trace;
+  const int n = topo.num_hosts();
+  for (int h = 0; h < n; ++h) {
+    net.attach(h, [&trace, &eq, h](SocketId, const Network::Payload& data) {
+      trace.push_back({h, eq.now(), data->size()});
+    });
+  }
+  util::Rng wl(workload_seed);
+  Nanos when = 0;
+  for (int i = 0; i < sends; ++i) {
+    const int src = static_cast<int>(wl.below(static_cast<uint64_t>(n)));
+    const int dst = wl.chance(0.4)
+                        ? kMulticast
+                        : static_cast<int>(wl.below(static_cast<uint64_t>(n)));
+    const size_t size = 32 + wl.below(4000);
+    when += static_cast<Nanos>(wl.below(20'000));
+    if (dst != src) net.send(src, dst, kDataSocket,
+                             std::vector<std::byte>(size, std::byte{0x42}),
+                             when);
+  }
+  eq.run_all();
+  return trace;
+}
+
+TEST(TopologyFuzz, IdenticalSeedsYieldIdenticalTraces) {
+  util::Rng rng(0xcafe);
+  int tested = 0;
+  for (int iter = 0; iter < 40 && tested < 12; ++iter) {
+    const Topology topo = random_topology(rng);
+    if (!topo.validate().empty()) continue;
+    ++tested;
+    const uint64_t fs = rng.below(1u << 30) + 1;
+    const uint64_t ws = rng.below(1u << 30) + 1;
+    const auto a = run_trace(topo, fs, ws, 200);
+    const auto b = run_trace(topo, fs, ws, 200);
+    ASSERT_EQ(a.size(), b.size()) << "iter " << iter;
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_TRUE(a[i] == b[i]) << "iter " << iter << " entry " << i;
+    }
+    EXPECT_FALSE(a.empty()) << "iter " << iter;
+  }
+  EXPECT_GE(tested, 12);
+}
+
+}  // namespace
+}  // namespace accelring::simnet

@@ -1,0 +1,476 @@
+// Multi-datacenter topology: WAN serialization/propagation accounting,
+// asymmetric link bandwidth, per-DC buffer isolation, correlated-fault
+// primitives, additive extra latency (with the campaign's latency_shift
+// pinned), and deterministic rack selection for the correlated-fault
+// scenarios.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/campaign.hpp"
+#include "check/schedule.hpp"
+#include "harness/cluster.hpp"
+#include "simnet/network.hpp"
+
+namespace accelring::simnet {
+namespace {
+
+std::vector<std::byte> blob(size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x5a});
+}
+
+/// Expected delivery time of an uncontended local unicast sent at t=0.
+Nanos local_delivery(const FabricParams& p, size_t udp_size) {
+  const Nanos ser = p.serialization_delay(Wire::wire_bytes(udp_size, p.mtu));
+  return p.host_tx_latency + ser + p.prop_delay   // uplink
+         + p.switch_latency + ser + p.prop_delay  // switch + downlink
+         + p.host_rx_latency;
+}
+
+/// Two DCs with one host each, joined by a single WAN link.
+Topology two_dc(const WanLinkParams& link) {
+  Topology topo;
+  topo.num_dcs = 2;
+  topo.hosts = {HostSpec{0, 0, 0, 1.0}, HostSpec{1, 0, 0, 1.0}};
+  topo.wan_links = {link};
+  return topo;
+}
+
+TEST(TopologyModel, SingleDcFactoryValidates) {
+  const Topology topo = Topology::single_dc(5);
+  EXPECT_EQ(topo.num_hosts(), 5);
+  EXPECT_TRUE(topo.single_switch());
+  EXPECT_EQ(topo.validate(), "");
+}
+
+TEST(TopologyModel, ValidationRejectsBadConfigs) {
+  Topology topo;  // no hosts
+  EXPECT_NE(topo.validate(), "");
+
+  topo = Topology::single_dc(2);
+  topo.hosts[1].dc = 3;  // out of range
+  EXPECT_NE(topo.validate(), "");
+
+  topo = Topology::single_dc(2);
+  topo.hosts[0].cpu_multiplier = 0.0;
+  EXPECT_NE(topo.validate(), "");
+
+  topo = two_dc(WanLinkParams{0, 0});  // self link
+  EXPECT_NE(topo.validate(), "");
+
+  WanLinkParams lossy{0, 1};
+  lossy.loss_rate = 1.5;
+  EXPECT_NE(two_dc(lossy).validate(), "");
+
+  WanLinkParams no_buffer{0, 1};
+  no_buffer.buffer_bytes = 0;
+  EXPECT_NE(two_dc(no_buffer).validate(), "");
+}
+
+TEST(TopologyModel, UnreachableDcIsRejected) {
+  // Three DCs, one link: DC 2 is disconnected.
+  Topology topo;
+  topo.num_dcs = 3;
+  topo.hosts = {HostSpec{0}, HostSpec{1}, HostSpec{2}};
+  topo.wan_links = {WanLinkParams{0, 1}};
+  EXPECT_NE(topo.validate().find("unreachable"), std::string::npos)
+      << topo.validate();
+  // Closing the chain fixes it.
+  topo.wan_links.push_back(WanLinkParams{1, 2});
+  EXPECT_EQ(topo.validate(), "");
+}
+
+TEST(TopologyModel, MakeWanTopologySplitsContiguously) {
+  const Topology topo = make_wan_topology(5, 3, util::msec(3));
+  EXPECT_EQ(topo.validate(), "");
+  EXPECT_EQ(topo.num_dcs, 3);
+  // 5 over 3: first two DCs get 2 hosts, the last gets 1 — contiguous.
+  EXPECT_EQ(topo.dc_hosts(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo.dc_hosts(1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(topo.dc_hosts(2), (std::vector<int>{4}));
+  // Full mesh over 3 DCs = 3 links.
+  EXPECT_EQ(topo.wan_links.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Timing accounting. All tests use uncontended sends so the exact formula
+// applies: any off-by-one in serialization or propagation accounting fails
+// them with the precise nanosecond delta.
+
+TEST(WanTiming, OneHopAddsSwitchSerializationAndPropagation) {
+  const FabricParams p = FabricParams::one_gig();
+  const size_t kSize = 100;
+  WanLinkParams link{0, 1};
+  link.prop_delay = util::msec(10);
+  link.bps_ab = link.bps_ba = 1e9;
+
+  EventQueue eq;
+  Network net(eq, p, two_dc(link));
+  Nanos delivered = -1;
+  net.attach(1, [&](SocketId, const Network::Payload&) { delivered = eq.now(); });
+  net.send(0, 1, kDataSocket, blob(kSize), 0);
+  eq.run_all();
+
+  // One extra store-and-forward stage: the source switch serializes onto the
+  // WAN link (after its forwarding latency), then the WAN propagation.
+  const Nanos wan_ser = p.serialization_delay(Wire::wire_bytes(kSize, p.mtu));
+  const Nanos expected =
+      local_delivery(p, kSize) + p.switch_latency + wan_ser + link.prop_delay;
+  EXPECT_EQ(delivered, expected);
+  EXPECT_EQ(net.stats().wan_datagrams, 1u);
+  EXPECT_EQ(net.stats().wan_bytes, Wire::wire_bytes(kSize, p.mtu));
+}
+
+TEST(WanTiming, AsymmetricBandwidthSerializesPerDirection) {
+  const FabricParams p = FabricParams::one_gig();
+  const size_t kSize = 1000;
+  WanLinkParams link{0, 1};
+  link.prop_delay = util::msec(5);
+  link.bps_ab = 1e9;
+  link.bps_ba = 1e8;  // reverse direction 10x slower
+
+  EventQueue eq;
+  Network net(eq, p, two_dc(link));
+  Nanos at_1 = -1, at_0 = -1;
+  net.attach(1, [&](SocketId, const Network::Payload&) { at_1 = eq.now(); });
+  net.attach(0, [&](SocketId, const Network::Payload&) { at_0 = eq.now(); });
+  net.send(0, 1, kDataSocket, blob(kSize), 0);
+  eq.run_all();
+  net.send(1, 0, kDataSocket, blob(kSize), eq.now());
+  const Nanos reverse_sent = eq.now();
+  eq.run_all();
+
+  const size_t on_wire = Wire::wire_bytes(kSize, p.mtu);
+  const Nanos fast = static_cast<Nanos>(static_cast<double>(on_wire) * 8.0 /
+                                        link.bps_ab * 1e9);
+  const Nanos slow = static_cast<Nanos>(static_cast<double>(on_wire) * 8.0 /
+                                        link.bps_ba * 1e9);
+  ASSERT_GE(at_1, 0);
+  ASSERT_GE(at_0, 0);
+  // Same path both ways except the WAN serialization stage.
+  EXPECT_EQ((at_0 - reverse_sent) - at_1, slow - fast);
+}
+
+TEST(WanTiming, WanBufferIsIsolatedFromLocalPorts) {
+  const FabricParams p = FabricParams::one_gig();
+  const size_t kSize = 1000;
+  const size_t on_wire = Wire::wire_bytes(kSize, p.mtu);
+  WanLinkParams link{0, 1};
+  link.bps_ab = 1e8;  // WAN drains 10x slower than hosts inject
+  link.buffer_bytes = 2 * on_wire - 1;  // at most one datagram queued
+
+  // DC 0 holds hosts {0, 1}; DC 1 holds host {2}.
+  Topology topo;
+  topo.num_dcs = 2;
+  topo.hosts = {HostSpec{0}, HostSpec{0}, HostSpec{1}};
+  topo.wan_links = {link};
+  ASSERT_EQ(topo.validate(), "");
+
+  EventQueue eq;
+  Network net(eq, p, topo);
+  int local = 0, remote = 0;
+  net.attach(1, [&](SocketId, const Network::Payload&) { ++local; });
+  net.attach(2, [&](SocketId, const Network::Payload&) { ++remote; });
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, 2, kDataSocket, blob(kSize), 0);  // cross-DC: congests WAN
+    net.send(0, 1, kDataSocket, blob(kSize), 0);  // stays inside DC 0
+  }
+  eq.run_all();
+
+  // The overloaded WAN queue tail-drops, but only at the WAN counter; the
+  // local switch ports never congest (1 Gbps in, 1 Gbps out).
+  EXPECT_GT(net.stats().drops_wan, 0u);
+  EXPECT_EQ(net.stats().drops_buffer, 0u);
+  EXPECT_EQ(local, 20);
+  EXPECT_LT(remote, 20);
+  EXPECT_GT(remote, 0);
+  EXPECT_EQ(static_cast<uint64_t>(remote), net.stats().wan_datagrams);
+}
+
+TEST(WanTiming, MulticastCrossesEachWanLinkOnce) {
+  // Chain 0 - 1 - 2, two hosts per DC: a multicast from DC 0 uses exactly
+  // two WAN transmissions (one per chain edge), re-fanning out at each
+  // switch, and DC 2 hears it one hop later than DC 1.
+  const FabricParams p = FabricParams::one_gig();
+  const Topology topo =
+      make_wan_topology(6, 3, util::msec(2), 1e9, /*full_mesh=*/false);
+  ASSERT_EQ(topo.validate(), "");
+
+  EventQueue eq;
+  Network net(eq, p, topo);
+  std::vector<int> count(6, 0);
+  std::vector<Nanos> at(6, -1);
+  for (int h = 1; h < 6; ++h) {
+    net.attach(h, [&, h](SocketId, const Network::Payload&) {
+      ++count[static_cast<size_t>(h)];
+      at[static_cast<size_t>(h)] = eq.now();
+    });
+  }
+  net.send(0, kMulticast, kDataSocket, blob(200), 0);
+  eq.run_all();
+
+  EXPECT_EQ(net.stats().wan_datagrams, 2u);
+  for (int h = 1; h < 6; ++h) EXPECT_EQ(count[static_cast<size_t>(h)], 1) << h;
+  // Same-DC peer first, then DC 1, then DC 2 (one more hop away).
+  EXPECT_LT(at[1], at[2]);
+  EXPECT_EQ(at[2], at[3]);
+  EXPECT_EQ(at[4], at[5]);
+  EXPECT_GT(at[4], at[2]);
+}
+
+TEST(WanTiming, HeterogeneousNicRateShiftsBothDirections) {
+  const size_t kSize = 500;
+  const FabricParams p = FabricParams::one_gig();
+  Topology topo = Topology::single_dc(2);
+  topo.hosts[0].nic_bps = 1e8;  // host 0 uplink and downlink at 100 Mbps
+  ASSERT_EQ(topo.validate(), "");
+
+  EventQueue eq;
+  Network net(eq, p, topo);
+  Nanos at_1 = -1, at_0 = -1;
+  net.attach(1, [&](SocketId, const Network::Payload&) { at_1 = eq.now(); });
+  net.attach(0, [&](SocketId, const Network::Payload&) { at_0 = eq.now(); });
+  net.send(0, 1, kDataSocket, blob(kSize), 0);
+  eq.run_all();
+  const Nanos mark = eq.now();
+  net.send(1, 0, kDataSocket, blob(kSize), mark);
+  eq.run_all();
+
+  const size_t on_wire = Wire::wire_bytes(kSize, p.mtu);
+  const Nanos slow = static_cast<Nanos>(static_cast<double>(on_wire) * 8.0 /
+                                        1e8 * 1e9);
+  const Nanos fast = p.serialization_delay(on_wire);
+  // 0 -> 1: slow uplink, fast downlink. 1 -> 0: fast uplink, slow downlink.
+  // Either way exactly one serialization stage runs at the slow NIC.
+  const Nanos expected = local_delivery(p, kSize) + (slow - fast);
+  EXPECT_EQ(at_1, expected);
+  EXPECT_EQ(at_0 - mark, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Correlated-fault primitives.
+
+TEST(CorrelatedFaults, WanDownDropsUntilRestored) {
+  const FabricParams p = FabricParams::one_gig();
+  WanLinkParams link{0, 1};
+  link.prop_delay = util::msec(1);
+  EventQueue eq;
+  Network net(eq, p, two_dc(link));
+  int delivered = 0;
+  net.attach(1, [&](SocketId, const Network::Payload&) { ++delivered; });
+
+  net.set_wan_down(0, 1, true);
+  EXPECT_TRUE(net.wan_down(0, 1));
+  EXPECT_TRUE(net.wan_down(1, 0));  // symmetric
+  net.send(0, 1, kDataSocket, blob(100), 0);
+  eq.run_all();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().drops_wan, 1u);
+
+  net.set_wan_down(0, 1, false);
+  net.send(0, 1, kDataSocket, blob(100), eq.now());
+  eq.run_all();
+  EXPECT_EQ(delivered, 1);
+
+  // clear_link_faults() is the heal-all path.
+  net.set_wan_down(0, 1, true);
+  net.clear_link_faults();
+  EXPECT_FALSE(net.wan_down(0, 1));
+}
+
+TEST(CorrelatedFaults, BrownoutDelaysOnlyItsOwnSwitch) {
+  const FabricParams p = FabricParams::one_gig();
+  const Nanos kExtra = util::usec(500);
+  // DC 0: hosts {0, 1}; DC 1: host {2}.
+  Topology topo;
+  topo.num_dcs = 2;
+  topo.hosts = {HostSpec{0}, HostSpec{0}, HostSpec{1}};
+  topo.wan_links = {WanLinkParams{0, 1}};
+
+  EventQueue eq;
+  Network net(eq, p, topo);
+  Nanos local_at = -1, remote_at = -1;
+  net.attach(1, [&](SocketId, const Network::Payload&) { local_at = eq.now(); });
+  net.attach(2, [&](SocketId, const Network::Payload&) { remote_at = eq.now(); });
+
+  // Baseline, then the same sends under a DC 1 brownout (latency only).
+  net.send(0, 1, kDataSocket, blob(100), 0);
+  net.send(0, 2, kDataSocket, blob(100), 0);
+  eq.run_all();
+  const Nanos local_base = local_at;
+  const Nanos remote_base = remote_at;
+
+  net.set_dc_brownout(1, 0.0, kExtra);
+  const Nanos mark = eq.now();
+  net.send(0, 1, kDataSocket, blob(100), mark);
+  net.send(0, 2, kDataSocket, blob(100), mark);
+  eq.run_all();
+
+  // DC 0's switch is healthy: intra-DC latency is unchanged. Delivery into
+  // DC 1 picks up the browned-out switch's forwarding delay exactly once.
+  EXPECT_EQ(local_at - mark, local_base);
+  EXPECT_EQ(remote_at - mark, remote_base + kExtra);
+
+  net.set_dc_brownout(1, 0.0, 0);  // heals
+  const Nanos mark2 = eq.now();
+  net.send(0, 1, kDataSocket, blob(100), mark2);  // same NIC contention
+  net.send(0, 2, kDataSocket, blob(100), mark2);
+  eq.run_all();
+  EXPECT_EQ(remote_at - mark2, remote_base);
+}
+
+TEST(CorrelatedFaults, BrownoutLossDropsAtThatSwitchOnly) {
+  const FabricParams p = FabricParams::one_gig();
+  Topology topo;
+  topo.num_dcs = 2;
+  topo.hosts = {HostSpec{0}, HostSpec{0}, HostSpec{1}};
+  topo.wan_links = {WanLinkParams{0, 1}};
+
+  EventQueue eq;
+  Network net(eq, p, topo, /*seed=*/99);
+  int local = 0, remote = 0;
+  net.attach(1, [&](SocketId, const Network::Payload&) { ++local; });
+  net.attach(2, [&](SocketId, const Network::Payload&) { ++remote; });
+
+  net.set_dc_brownout(1, 0.5, 0);
+  for (int i = 0; i < 200; ++i) {
+    net.send(0, 1, kDataSocket, blob(64), 0);
+    net.send(0, 2, kDataSocket, blob(64), 0);
+  }
+  eq.run_all();
+  EXPECT_EQ(local, 200);  // DC 0 unaffected
+  EXPECT_LT(remote, 200);
+  EXPECT_GT(remote, 0);
+  EXPECT_EQ(net.stats().drops_wan, static_cast<uint64_t>(200 - remote));
+}
+
+TEST(CorrelatedFaults, RackSelectionIsDeterministic) {
+  using check::campaign_wan_topology;
+  const simnet::Topology topo = campaign_wan_topology(5);
+  ASSERT_EQ(topo.validate(), "");
+  const auto racks = topo.racks();
+  // 5 hosts, 3 DCs, racks of 2: {0,1} {2,3} {4} — stable across calls.
+  ASSERT_EQ(racks.size(), 3u);
+  EXPECT_EQ(racks[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(racks[1], (std::vector<int>{2, 3}));
+  EXPECT_EQ(racks[2], (std::vector<int>{4}));
+
+  // The rack_power generator picks its victim group from those racks,
+  // deterministically per seed, and never takes out so many hosts that the
+  // survivors lose quorum-forming headroom.
+  const check::Scenario* sc = check::find_scenario("rack_power");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_TRUE(sc->wan);
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const check::Schedule a = sc->make(seed, 5, util::msec(250));
+    const check::Schedule b = sc->make(seed, 5, util::msec(250));
+    EXPECT_EQ(check::describe(a), check::describe(b)) << seed;
+    for (const check::FaultEvent& e : a.events) {
+      if (e.kind != check::FaultKind::kRackPower) continue;
+      ASSERT_FALSE(e.group.empty());
+      EXPECT_LE(e.group.size(), 3u);  // <= nodes - 2
+      for (int h : e.group) {
+        EXPECT_GE(h, 0);
+        EXPECT_LT(h, 5);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Additive extra latency (the set_extra_latency composition fix).
+
+TEST(ExtraLatency, ShiftsComposeAdditivelyAndClampAtZero) {
+  EventQueue eq;
+  Network net(eq, FabricParams::one_gig(), 2);
+  net.add_extra_latency(util::usec(5));
+  net.add_extra_latency(util::usec(3));
+  EXPECT_EQ(net.extra_latency(), util::usec(8));
+  net.add_extra_latency(-util::usec(5));
+  EXPECT_EQ(net.extra_latency(), util::usec(3));
+  net.add_extra_latency(-util::usec(3));
+  EXPECT_EQ(net.extra_latency(), 0);
+  // A stale negative shift (its onset was absorbed by a heal-all setting the
+  // latency to 0) must not make the fabric faster than its base latency.
+  net.set_extra_latency(0);
+  net.add_extra_latency(-util::usec(7));
+  EXPECT_EQ(net.extra_latency(), 0);
+}
+
+TEST(ExtraLatency, OverlappingShiftsDelayDeliveryBySum) {
+  const FabricParams p = FabricParams::one_gig();
+  EventQueue eq;
+  Network net(eq, p, 2);
+  Nanos at = -1;
+  net.attach(1, [&](SocketId, const Network::Payload&) { at = eq.now(); });
+
+  const Nanos base = local_delivery(p, 100);
+  net.add_extra_latency(util::usec(10));
+  net.add_extra_latency(util::usec(4));
+  net.send(0, 1, kDataSocket, blob(100), 0);
+  eq.run_all();
+  EXPECT_EQ(at, base + util::usec(14));
+
+  // First shift expires: only its own contribution is removed.
+  net.add_extra_latency(-util::usec(10));
+  const Nanos mark = eq.now();
+  net.send(0, 1, kDataSocket, blob(100), mark);
+  eq.run_all();
+  EXPECT_EQ(at - mark, base + util::usec(4));
+}
+
+// The latency_shift campaign scenario drives the additive path end to end;
+// pin that it stays clean (the pre-fix set-to-zero expiry masked overlapping
+// shifts instead of composing them).
+TEST(ExtraLatency, LatencyShiftCampaignScenarioStaysClean) {
+  check::RunOptions run;
+  run.nodes = 5;
+  run.horizon = util::msec(250);
+  run.drain = util::msec(300);
+  const check::Scenario* sc = check::find_scenario("latency_shift");
+  ASSERT_NE(sc, nullptr);
+  for (uint64_t seed : {1ull, 7ull, 23ull}) {
+    const check::Schedule schedule = sc->make(seed, run.nodes, run.horizon);
+    const check::RunResult r = check::run_schedule(run, schedule, seed);
+    EXPECT_TRUE(r.ok) << "seed " << seed << "\n" << r.report;
+    EXPECT_GT(r.delivered, 0u) << seed;
+  }
+  // wan_latency_surge is the overlap case: its generator emits two shifts
+  // whose windows intersect, so expiry order matters.
+  const check::Scenario* surge = check::find_scenario("wan_latency_surge");
+  ASSERT_NE(surge, nullptr);
+  bool found_overlap = false;
+  for (uint64_t seed = 1; seed <= 10 && !found_overlap; ++seed) {
+    const check::Schedule s = surge->make(seed, 5, util::msec(250));
+    ASSERT_EQ(s.events.size(), 2u);
+    found_overlap = s.events[1].at < s.events[0].at + s.events[0].duration;
+  }
+  EXPECT_TRUE(found_overlap);
+}
+
+// ---------------------------------------------------------------------------
+// Per-host CPU multipliers flow from the topology into the cluster.
+
+TEST(HeterogeneousHosts, CpuMultiplierComesFromTopology) {
+  simnet::Topology topo = check::campaign_wan_topology(5);
+  topo.hosts[2].cpu_multiplier = 2.5;
+  harness::SimCluster cluster(topo, FabricParams::one_gig(),
+                              check::wan_proto_config(),
+                              harness::ImplProfile::kLibrary, /*seed=*/3);
+  EXPECT_EQ(cluster.base_cpu_multiplier(0), 1.0);
+  EXPECT_EQ(cluster.base_cpu_multiplier(2), 2.5);
+  // The heterogeneous cluster still forms a ring and delivers.
+  cluster.start_static();
+  int delivered = 0;
+  cluster.add_on_deliver(
+      [&](int, const protocol::Delivery&, Nanos) { ++delivered; });
+  cluster.eq().schedule_after(util::msec(30), [&] {
+    cluster.submit(0, protocol::Service::kAgreed,
+                   std::vector<std::byte>(64, std::byte{1}));
+  });
+  cluster.run_until(util::msec(200));
+  EXPECT_GT(delivered, 0);
+}
+
+}  // namespace
+}  // namespace accelring::simnet

@@ -76,6 +76,24 @@ python3 tools/validate_bench_json.py \
   "${KV_DIR}/BENCH_kv_smoke_1shard.json" \
   "${KV_DIR}/BENCH_kv_smoke_4shard.json"
 
+# WAN acceptance: every multi-datacenter campaign scenario stays clean
+# across a seed sweep plus the wan.seeds regression corpus, and the
+# topology-class bench (LAN/metro/regional in --smoke) emits validating
+# BENCH_wan_*.json artifacts. Guards the whole multi-DC stack: topology
+# routing, WAN-scaled timeouts, correlated faults, and the bench wiring.
+echo "=== build: wan campaign + topology bench smoke ==="
+cmake --build build --target check_campaign fig_wan_topologies
+./build/tools/check_campaign --quiet --seeds 5 \
+  --seed-file tests/seeds/wan.seeds \
+  --scenario wan_loss_bursts --scenario wan_latency_surge \
+  --scenario rack_power --scenario switch_brownout \
+  --scenario dc_flap --scenario kv_wan_rack_power
+WAN_DIR="build/wan_artifacts"
+rm -rf "${WAN_DIR}"
+mkdir -p "${WAN_DIR}"
+ACCELRING_BENCH_DIR="${WAN_DIR}" ./build/bench/fig_wan_topologies --smoke >/dev/null
+python3 tools/validate_bench_json.py "${WAN_DIR}"/BENCH_wan_*.json
+
 if [[ "${FAST}" == "0" ]]; then
   configure_and_test build-asan -DACCELRING_SANITIZE=address
   configure_and_test build-ubsan -DACCELRING_SANITIZE=undefined
