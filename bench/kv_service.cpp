@@ -17,14 +17,20 @@
 // in the per-point kv extras.
 //
 // `--smoke [--shards K]` runs one short single-K point for CI; the full
-// sweep takes a few minutes.
+// sweep takes a few minutes. `--durable` gives every node a SimDisk and
+// runs the replicas over WAL + checkpoint stores (storage::ReplicaStore),
+// so the smoke also covers the persistence write path end to end.
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "kv/service.hpp"
 #include "kv/workload.hpp"
 #include "multiring/ring_set.hpp"
+#include "storage/replica_store.hpp"
+#include "storage/sim_disk.hpp"
 
 namespace accelring::bench {
 namespace {
@@ -45,7 +51,7 @@ struct KvPoint {
 };
 
 KvPoint run_kv_point(int shards, double base_rate, uint64_t sessions,
-                     util::Nanos stop, uint64_t seed) {
+                     util::Nanos stop, uint64_t seed, bool durable = false) {
   multiring::MultiRingConfig mc;
   mc.rings = shards;
   mc.nodes_per_ring = 8;
@@ -69,6 +75,18 @@ KvPoint run_kv_point(int shards, double base_rate, uint64_t sessions,
   scfg.replica.checkpoint_interval = 4096;
   scfg.preload_keys = 10'000;
   scfg.preload_value_size = 64;
+  // Per-node disks outlive the service; stores are per-(node, shard).
+  std::vector<std::unique_ptr<storage::SimDisk>> disks;
+  if (durable) {
+    for (int n = 0; n < mc.nodes_per_ring; ++n) {
+      disks.push_back(std::make_unique<storage::SimDisk>(seed + 1000 + n));
+    }
+    scfg.store_factory = [&disks](int node, int shard) {
+      return std::make_unique<storage::ReplicaStore>(
+          *disks[static_cast<size_t>(node)],
+          "shard" + std::to_string(shard));
+    };
+  }
   kv::KvService service(rings, scfg);
   service.bind_metrics();
   rings.start_static();
@@ -236,10 +254,12 @@ int main(int argc, char** argv) {
   using namespace accelring::bench;
 
   bool smoke = false;
+  bool durable = false;
   int smoke_shards = 1;
   double smoke_rate = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--durable") == 0) durable = true;
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       smoke_shards = std::atoi(argv[++i]);
     }
@@ -249,14 +269,17 @@ int main(int argc, char** argv) {
   }
 
   if (smoke) {
-    std::printf("==== KV service smoke: K=%d ====\n\n", smoke_shards);
+    std::printf("==== KV service smoke: K=%d%s ====\n\n", smoke_shards,
+                durable ? " durable" : "");
     print_header();
     if (smoke_rate <= 0) smoke_rate = 20'000.0 * smoke_shards;
     const KvPoint p = run_kv_point(smoke_shards, smoke_rate,
-                                   100'000, util::msec(500), 1);
-    const std::string label = "K=" + std::to_string(smoke_shards) + " smoke";
+                                   100'000, util::msec(500), 1, durable);
+    const std::string label = "K=" + std::to_string(smoke_shards) + " smoke" +
+                              (durable ? " durable" : "");
     print_kv_point(label.c_str(), p);
-    emit_kv_artifacts("kv_smoke_" + std::to_string(smoke_shards) + "shard",
+    emit_kv_artifacts("kv_smoke_" + std::to_string(smoke_shards) + "shard" +
+                          (durable ? "_durable" : ""),
                       {{label, {p}}});
     return 0;
   }

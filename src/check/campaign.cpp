@@ -7,7 +7,9 @@
 #include <set>
 
 #include "check/client_fleet.hpp"
+#include "check/durability_oracle.hpp"
 #include "check/kv_oracle.hpp"
+#include "storage/replica_store.hpp"
 #include "harness/workload.hpp"
 #include "kv/workload.hpp"
 #include "multiring/ring_set.hpp"
@@ -111,6 +113,8 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
       case FaultKind::kRackPower:
       case FaultKind::kRackRestore:
       case FaultKind::kWanDown:
+      case FaultKind::kPowerLossAll:
+      case FaultKind::kPowerRestoreAll:
         // Correlated crashes and a severed inter-DC path can legitimately
         // remove any member from a configuration.
         any_ejection_justified = true;
@@ -258,6 +262,45 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
             net.set_wan_down(e.node, e.peer, false);
           });
           break;
+        case FaultKind::kPowerLossAll:
+          // Whole-cluster power loss works at the raw-submit level too (the
+          // per-node disks carry the epoch stores); the durable scenarios
+          // exercise it with full stores in run_kv.
+          for (int n = 0; n < cluster.size(); ++n) {
+            if (!net.host_down(n)) {
+              cluster.crash_node(n);
+              oracle.note_crash(n);
+              if (fleetp != nullptr) fleetp->on_crash(n);
+            }
+          }
+          break;
+        case FaultKind::kPowerRestoreAll:
+          for (int n = 0; n < cluster.size(); ++n) {
+            if (net.host_down(n)) {
+              cluster.restart_node(n);
+              oracle.note_restart(n);
+              if (fleetp != nullptr) fleetp->on_restart(n);
+            }
+          }
+          break;
+        case FaultKind::kDiskDesync:
+          cluster.disk(e.node).set_crash_mode(
+              e.count >= 2 ? storage::CrashMode::kReorder
+                           : storage::CrashMode::kTorn);
+          cluster.disk(e.node).set_write_cache_lies(true);
+          break;
+        case FaultKind::kDiskBitRot:
+          cluster.disk(e.node).flip_bits(static_cast<int>(e.count), "shard");
+          break;
+        case FaultKind::kDiskFull:
+          cluster.disk(e.node).set_capacity(1);
+          cluster.eq().schedule_after(e.duration, [&cluster, e] {
+            cluster.disk(e.node).set_capacity(0);
+          });
+          break;
+        case FaultKind::kDiskStall:
+          cluster.disk(e.node).stall_ops(static_cast<int>(e.count));
+          break;
       }
     });
   }
@@ -364,6 +407,7 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
                  uint64_t seed) {
   const Scenario* sc = find_scenario(schedule.scenario);
   const bool wan = sc != nullptr && sc->wan;
+  const bool durable = sc != nullptr && sc->durable;
   const simnet::Topology topo = wan ? campaign_wan_topology(opt.nodes)
                                     : simnet::Topology::single_dc(opt.nodes);
   harness::SimCluster cluster(topo, opt.fabric, opt.proto, opt.profile, seed);
@@ -374,10 +418,46 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
   kv::ServiceConfig scfg;
   scfg.shards = 1;
   scfg.preload_keys = 0;  // the KvOracle needs a fully observed history
+  if (durable) {
+    // Every (node, shard) replica persists to the node's SimDisk. The file
+    // prefix starts with "shard" so kDiskBitRot (which targets that prefix)
+    // corrupts WAL/checkpoint files but never the epoch file beside them.
+    scfg.store_factory = [&cluster](int node, int shard) {
+      return std::make_unique<storage::ReplicaStore>(
+          cluster.disk(node), "shard" + std::to_string(shard));
+    };
+  }
   kv::KvService service(cluster, scfg);
   if (!opt.artifact_dir.empty()) service.bind_metrics();
   KvOracle kv_oracle;
-  kv_oracle.attach(service);
+  DurabilityOracle dur_oracle;
+  DurabilityOracle* durp = nullptr;
+  if (durable) {
+    // One set of service observers fans out to both oracles (the KvOracle
+    // first, so mutation history is recorded before durability bookkeeping
+    // reads the same event).
+    kv_oracle.bind(service);
+    dur_oracle.bind(service);
+    durp = &dur_oracle;
+    service.set_on_applied([&kv_oracle, &dur_oracle](
+                               int node, int shard,
+                               const kv::AppliedOp& applied, Nanos at) {
+      kv_oracle.on_applied(node, shard, applied, at);
+      dur_oracle.on_applied(node, shard, applied, at);
+    });
+    service.set_on_lease_grant(
+        [&kv_oracle](int node, int shard, const kv::LeaseId& id, Nanos at) {
+          kv_oracle.on_lease_grant(node, shard, id, at);
+        });
+    service.set_on_outcome(
+        [&kv_oracle, &dur_oracle](int node,
+                                  const kv::Frontend::Outcome& outcome) {
+          kv_oracle.on_outcome(node, outcome);
+          dur_oracle.on_outcome(node, outcome);
+        });
+  } else {
+    kv_oracle.attach(service);
+  }
 
   kv::WorkloadConfig wcfg;
   wcfg.sessions = 64;
@@ -408,9 +488,29 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
 
   simnet::EventQueue& eq = cluster.eq();
   for (const FaultEvent& e : schedule.events) {
-    eq.schedule_after(e.at, [&cluster, &oracle, &service, &kv_oracle, fault,
-                             e] {
+    eq.schedule_after(e.at, [&cluster, &oracle, &service, &kv_oracle, durp,
+                             fault, e] {
       simnet::Network& net = cluster.net();
+      // The crash choreography (shared by single-node, rack, and
+      // whole-cluster power events): the durability oracle snapshots the
+      // node's applied versions before the crash resolves un-fsynced disk
+      // state, and judges the recovered versions right after the restart.
+      const auto crash_one = [&](int n) {
+        if (net.host_down(n)) return;
+        if (durp != nullptr) durp->note_crash(n);
+        cluster.crash_node(n);
+        oracle.note_crash(n);
+        service.on_crash(n);
+      };
+      const auto restart_one = [&](int n) {
+        if (!net.host_down(n)) return false;
+        cluster.restart_node(n);
+        oracle.note_restart(n);
+        service.on_restart(n);
+        kv_oracle.note_restart(n);
+        if (durp != nullptr) durp->note_restart(n);
+        return true;
+      };
       switch (e.kind) {
         case FaultKind::kLossBurst:
           net.set_loss_rate(e.rate);
@@ -427,38 +527,56 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
           net.heal();
           break;
         case FaultKind::kCrash:
-          if (!net.host_down(e.node)) {
-            cluster.crash_node(e.node);
-            oracle.note_crash(e.node);
-            service.on_crash(e.node);
-          }
+          crash_one(e.node);
           break;
         case FaultKind::kRestart:
-          if (net.host_down(e.node)) {
-            cluster.restart_node(e.node);
-            oracle.note_restart(e.node);
-            service.on_restart(e.node);
-            kv_oracle.note_restart(e.node);
-          }
+          restart_one(e.node);
           break;
         case FaultKind::kRackPower:
-          for (int n : e.group) {
-            if (!net.host_down(n)) {
-              cluster.crash_node(n);
-              oracle.note_crash(n);
-              service.on_crash(n);
-            }
-          }
+          for (int n : e.group) crash_one(n);
           break;
         case FaultKind::kRackRestore:
-          for (int n : e.group) {
-            if (net.host_down(n)) {
-              cluster.restart_node(n);
-              oracle.note_restart(n);
-              service.on_restart(n);
-              kv_oracle.note_restart(n);
-            }
+          for (int n : e.group) restart_one(n);
+          break;
+        case FaultKind::kPowerLossAll:
+          for (int n = 0; n < cluster.size(); ++n) crash_one(n);
+          break;
+        case FaultKind::kPowerRestoreAll: {
+          bool any = false;
+          for (int n = 0; n < cluster.size(); ++n) {
+            any = restart_one(n) || any;
           }
+          // The whole cluster is back: judge what survived against the
+          // committed history, then roll the KV oracle onto the revived
+          // lineage. Skipped when the power loss was shrunk away.
+          if (any && durp != nullptr) {
+            durp->note_cluster_recovery(&kv_oracle);
+          }
+          break;
+        }
+        case FaultKind::kDiskDesync:
+          cluster.disk(e.node).set_crash_mode(
+              e.count >= 2 ? storage::CrashMode::kReorder
+                           : storage::CrashMode::kTorn);
+          cluster.disk(e.node).set_write_cache_lies(true);
+          if (durp != nullptr) {
+            durp->note_disk_unsafe(e.node, "lying write cache");
+          }
+          break;
+        case FaultKind::kDiskBitRot:
+          cluster.disk(e.node).flip_bits(static_cast<int>(e.count), "shard");
+          if (durp != nullptr) durp->note_disk_unsafe(e.node, "bit rot");
+          break;
+        case FaultKind::kDiskFull:
+          cluster.disk(e.node).set_capacity(1);
+          if (durp != nullptr) durp->note_disk_unsafe(e.node, "enospc");
+          cluster.eq().schedule_after(e.duration, [&cluster, e] {
+            cluster.disk(e.node).set_capacity(0);
+          });
+          break;
+        case FaultKind::kDiskStall:
+          cluster.disk(e.node).stall_ops(static_cast<int>(e.count));
+          if (durp != nullptr) durp->note_disk_unsafe(e.node, "io stall");
           break;
         default:
           // The kv scenarios only emit the faults above; anything else in a
@@ -481,12 +599,19 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
   const harness::ClusterStats stats = cluster.stats();
   oracle.finalize(&stats);
   kv_oracle.finalize();
+  if (durp != nullptr) durp->finalize();
 
   RunResult res;
-  res.ok = oracle.ok() && kv_oracle.ok();
+  res.ok = oracle.ok() && kv_oracle.ok() &&
+           (durp == nullptr || durp->ok());
   res.violations = oracle.violations();
   for (const Violation& v : kv_oracle.violations()) {
     res.violations.push_back(v);
+  }
+  if (durp != nullptr) {
+    for (const Violation& v : durp->violations()) {
+      res.violations.push_back(v);
+    }
   }
   res.delivered = oracle.observed();
   res.quarantines = stats.quarantines();
@@ -504,6 +629,15 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
     record.captured_at = cluster.eq().now();
     for (const Violation& v : res.violations) {
       record.violations.push_back(v.what);
+    }
+    // The injected storage-fault schedule, verbatim: what each node's disk
+    // actually did to the data (desync windows, torn-write resolutions, bit
+    // flips, ENOSPC) is exactly what a durability failure reproduces from.
+    for (int n = 0; n < opt.nodes; ++n) {
+      for (const std::string& line : cluster.disk(n).fault_log()) {
+        record.storage_faults.push_back("node" + std::to_string(n) + ": " +
+                                        line);
+      }
     }
     for (int n = 0; n < opt.nodes; ++n) {
       obs::FlightNode fn;
@@ -658,6 +792,15 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
           // Correlated crash/restart and topology faults: their scenarios
           // are not multiring-safe (restart is single-ring only, and the
           // merged-prefix oracle cannot excuse a whole rack's gap).
+          break;
+        case FaultKind::kPowerLossAll:
+        case FaultKind::kPowerRestoreAll:
+        case FaultKind::kDiskDesync:
+        case FaultKind::kDiskBitRot:
+        case FaultKind::kDiskFull:
+        case FaultKind::kDiskStall:
+          // Storage faults drive the durable KV scenarios, which are
+          // single-ring only.
           break;
       }
     });

@@ -24,7 +24,7 @@ void KvOracle::fail(std::string what) {
   violations_.push_back({std::move(what)});
 }
 
-void KvOracle::attach(kv::KvService& service) {
+void KvOracle::bind(kv::KvService& service) {
   service_ = &service;
   shards_ = service.shards();
   const auto n = static_cast<size_t>(service.nodes());
@@ -40,6 +40,10 @@ void KvOracle::attach(kv::KvService& service) {
     fail("KvOracle requires preload_keys == 0 (preloaded values have no "
          "apply events, so read checks would see holes)");
   }
+}
+
+void KvOracle::attach(kv::KvService& service) {
+  bind(service);
   service.set_on_applied(
       [this](int node, int shard, const kv::AppliedOp& applied, Nanos at) {
         on_applied(node, shard, applied, at);
@@ -217,6 +221,31 @@ void KvOracle::on_outcome(int node, const kv::Frontend::Outcome& outcome) {
        << " returned wrong value (crc " << value_crc(outcome.result.value)
        << ", history " << state->value_crc << ")";
     fail(os.str());
+  }
+}
+
+void KvOracle::note_lineage_rollback(int shard, uint64_t version) {
+  const auto s = static_cast<size_t>(shard);
+  if (s >= history_.size()) return;
+  auto& hist = history_[s];
+  hist.erase(hist.upper_bound(version), hist.end());
+  auto& keys = by_key_[s];
+  for (auto it = keys.begin(); it != keys.end();) {
+    auto& per_key = it->second;
+    per_key.erase(per_key.upper_bound(version), per_key.end());
+    it = per_key.empty() ? keys.erase(it) : std::next(it);
+  }
+  for (auto& entry : write_floor_) {
+    if (auto it = entry.second.find(shard);
+        it != entry.second.end() && it->second > version) {
+      it->second = version;
+    }
+  }
+  for (auto& entry : read_floor_) {
+    if (auto it = entry.second.find(shard);
+        it != entry.second.end() && it->second > version) {
+      it->second = version;
+    }
   }
 }
 

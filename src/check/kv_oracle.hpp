@@ -51,6 +51,12 @@ class KvOracle {
   /// (claims all three slots). The oracle must outlive the run.
   void attach(kv::KvService& service);
 
+  /// Like attach(), but without claiming the observer slots: sizes and the
+  /// catch-up-replay waiver come from the service, events arrive through
+  /// the direct feeds. The durable campaign path uses this to fan one set
+  /// of service observers out to several oracles.
+  void bind(kv::KvService& service);
+
   // Direct feeds (used by attach() and by tests replaying histories).
   void on_applied(int node, int shard, const kv::AppliedOp& applied,
                   Nanos at);
@@ -60,6 +66,15 @@ class KvOracle {
   /// `node` was cold-restarted: its replicas' versions restart from a state
   /// transfer, so its per-node monotonicity floors reset.
   void note_restart(int node);
+
+  /// Cluster-wide recovery rolled `shard`'s authoritative history back to
+  /// `version` (the highest durable position across the recovered nodes).
+  /// Mutations above it are gone from the revived lineage and their version
+  /// numbers will be re-minted by new writes, so the oracle erases the lost
+  /// suffix and clamps session floors to the surviving history. Whether the
+  /// lost suffix was *allowed* to be lost is the DurabilityOracle's check,
+  /// not this one's.
+  void note_lineage_rollback(int shard, uint64_t version);
 
   void finalize() { finalized_ = true; }
 

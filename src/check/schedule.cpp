@@ -486,6 +486,131 @@ Schedule kv_wan_rack_power(uint64_t seed, int nodes, Nanos horizon) {
   return s;
 }
 
+// --- storage-fault scenarios (durable KV runs; see docs/ROBUSTNESS.md) -----
+
+/// Whole-cluster power loss with honest disks: every node crashes at the
+/// same instant and power returns 40-90 ms later. The WAL is fsynced before
+/// every apply, so the DurabilityOracle demands *exact* recovery — every
+/// node comes back at precisely the version it had applied.
+Schedule kv_blackout(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"kv_blackout", {}};
+  FaultEvent off;
+  off.kind = FaultKind::kPowerLossAll;
+  off.at = fault_time(rng, horizon);
+  FaultEvent on;
+  on.kind = FaultKind::kPowerRestoreAll;
+  on.at = std::min<Nanos>(off.at + util::msec(rng.range(40, 90)), horizon);
+  s.events.push_back(std::move(off));
+  s.events.push_back(std::move(on));
+  return s;
+}
+
+/// Blackout with a lying write cache on a minority: their un-fsynced WAL
+/// suffixes die torn (or flush-reordered) at the power loss. The desync
+/// windows open strictly before the blackout and no other fault runs in
+/// between, so no membership churn (epoch mints) lands on a lying disk.
+/// Acked writes durable only on the liars are legitimately lost (the
+/// oracle's *excused* count); anything a safe node applied must survive.
+Schedule kv_blackout_torn(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"kv_blackout_torn", {}};
+  // 1-2 lying disks, never node 0, always a minority.
+  const int max_liars = std::max(1, std::min(2, nodes - 2));
+  const int want = 1 + static_cast<int>(rng.below(
+                           static_cast<uint64_t>(max_liars)));
+  std::vector<int> liars;
+  while (static_cast<int>(liars.size()) < want) {
+    const int v = victim(rng, nodes);
+    bool dup = false;
+    for (const int l : liars) dup = dup || l == v;
+    if (!dup) liars.push_back(v);
+  }
+  for (const int l : liars) {
+    FaultEvent lie;
+    lie.kind = FaultKind::kDiskDesync;
+    lie.at = rng.range(horizon / 10, horizon * 4 / 10);
+    lie.node = l;
+    lie.count = 1 + static_cast<uint32_t>(rng.below(2));  // torn / reorder
+    s.events.push_back(std::move(lie));
+  }
+  FaultEvent off;
+  off.kind = FaultKind::kPowerLossAll;
+  off.at = horizon / 2 + rng.range(0, horizon / 5);
+  FaultEvent on;
+  on.kind = FaultKind::kPowerRestoreAll;
+  on.at = std::min<Nanos>(off.at + util::msec(rng.range(40, 90)), horizon);
+  s.events.push_back(std::move(off));
+  s.events.push_back(std::move(on));
+  return s;
+}
+
+/// Durable bit rot: flip a few bits in one node's shard files (WAL or
+/// checkpoint — never the epoch file), then crash and cold-restart that
+/// node. Recovery must *reject* the corrupt tail (CRCs), fall back to the
+/// longest valid prefix, and let peer state transfer close the rest; the
+/// rot pairs with a single-node restart, never a blackout, so the truth
+/// always survives on the majority.
+Schedule kv_disk_bitrot(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"kv_disk_bitrot", {}};
+  FaultEvent rot;
+  rot.kind = FaultKind::kDiskBitRot;
+  rot.at = fault_time(rng, horizon);
+  rot.node = victim(rng, nodes);
+  rot.count = 1 + static_cast<uint32_t>(rng.below(8));
+  FaultEvent down;
+  down.kind = FaultKind::kCrash;
+  down.node = rot.node;
+  down.at = std::min<Nanos>(rot.at + util::msec(rng.range(5, 30)), horizon);
+  FaultEvent up;
+  up.kind = FaultKind::kRestart;
+  up.node = rot.node;
+  up.at = std::min<Nanos>(down.at + util::msec(rng.range(20, 60)), horizon);
+  s.events.push_back(std::move(rot));
+  s.events.push_back(std::move(down));
+  s.events.push_back(std::move(up));
+  return s;
+}
+
+/// Disk stress: one node rides an ENOSPC window and an IO-stall burst, then
+/// crashes and (usually) restarts. Failed WAL appends latch the store
+/// broken until the next checkpoint heals it, so the victim may recover
+/// behind its applied position — the oracle only demands the prefix
+/// property there, and peers carry it forward.
+Schedule kv_disk_stress(uint64_t seed, int nodes, Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"kv_disk_stress", {}};
+  const int node = victim(rng, nodes);
+  FaultEvent full;
+  full.kind = FaultKind::kDiskFull;
+  full.at = fault_time(rng, horizon);
+  full.node = node;
+  full.duration = util::msec(rng.range(10, 40));
+  s.events.push_back(std::move(full));
+  FaultEvent stall;
+  stall.kind = FaultKind::kDiskStall;
+  stall.at = fault_time(rng, horizon);
+  stall.node = node;
+  stall.count = static_cast<uint32_t>(rng.range(5, 30));
+  s.events.push_back(std::move(stall));
+  FaultEvent down;
+  down.kind = FaultKind::kCrash;
+  down.node = node;
+  down.at = fault_time(rng, horizon);
+  s.events.push_back(std::move(down));
+  if (rng.chance(0.8)) {
+    FaultEvent up;
+    up.kind = FaultKind::kRestart;
+    up.node = node;
+    up.at = std::min<Nanos>(s.events.back().at + util::msec(rng.range(20, 60)),
+                            horizon);
+    s.events.push_back(std::move(up));
+  }
+  return s;
+}
+
 }  // namespace
 
 simnet::Topology campaign_wan_topology(int nodes) {
@@ -531,6 +656,18 @@ const char* fault_name(FaultKind kind) {
       return "switch_brownout";
     case FaultKind::kWanDown:
       return "wan_down";
+    case FaultKind::kPowerLossAll:
+      return "power_loss_all";
+    case FaultKind::kPowerRestoreAll:
+      return "power_restore_all";
+    case FaultKind::kDiskDesync:
+      return "disk_desync";
+    case FaultKind::kDiskBitRot:
+      return "disk_bitrot";
+    case FaultKind::kDiskFull:
+      return "disk_full";
+    case FaultKind::kDiskStall:
+      return "disk_stall";
   }
   return "?";
 }
@@ -606,6 +743,23 @@ std::string describe(const FaultEvent& event) {
       os << " dc" << event.node << "<->dc" << event.peer << " for "
          << util::to_msec(event.duration) << "ms";
       break;
+    case FaultKind::kPowerLossAll:
+    case FaultKind::kPowerRestoreAll:
+      break;
+    case FaultKind::kDiskDesync:
+      os << " node=" << event.node
+         << " mode=" << (event.count >= 2 ? "reorder" : "torn");
+      break;
+    case FaultKind::kDiskBitRot:
+      os << " node=" << event.node << " bits=" << event.count;
+      break;
+    case FaultKind::kDiskFull:
+      os << " node=" << event.node << " for "
+         << util::to_msec(event.duration) << "ms";
+      break;
+    case FaultKind::kDiskStall:
+      os << " node=" << event.node << " ops=" << event.count;
+      break;
   }
   return os.str();
 }
@@ -666,6 +820,21 @@ const std::vector<Scenario>& scenarios() {
        /*client_level=*/false, /*kv_level=*/false, /*wan=*/true},
       {"kv_wan_rack_power", kv_wan_rack_power, false,
        /*client_level=*/false, /*kv_level=*/true, /*wan=*/true},
+      // Storage-fault scenarios (appended, same stability rule): the full
+      // KV stack with per-node durable stores, power cut mid-run, judged by
+      // the DurabilityOracle on top of the KV and protocol oracles.
+      {"kv_blackout", kv_blackout, false,
+       /*client_level=*/false, /*kv_level=*/true, /*wan=*/false,
+       /*durable=*/true},
+      {"kv_blackout_torn", kv_blackout_torn, false,
+       /*client_level=*/false, /*kv_level=*/true, /*wan=*/false,
+       /*durable=*/true},
+      {"kv_disk_bitrot", kv_disk_bitrot, false,
+       /*client_level=*/false, /*kv_level=*/true, /*wan=*/false,
+       /*durable=*/true},
+      {"kv_disk_stress", kv_disk_stress, false,
+       /*client_level=*/false, /*kv_level=*/true, /*wan=*/false,
+       /*durable=*/true},
   };
   return kScenarios;
 }

@@ -41,6 +41,15 @@ enum class FaultKind : uint8_t {
   kSwitchBrownout, ///< dc `node`: loss `rate` + `extra_latency` on every port
                    ///< for `duration`
   kWanDown,       ///< WAN link `node`<->`peer` (dc ids) down for `duration`
+  // Storage faults (durable KV scenarios; see docs/ROBUSTNESS.md).
+  kPowerLossAll,    ///< whole-cluster power loss: every up node crashes at once
+  kPowerRestoreAll, ///< restart every downed node; recovery comes from disk
+  kDiskDesync,      ///< `node`'s write cache starts lying (`count` picks the
+                    ///< crash mode: 1 = torn, 2 = reorder); cleared by the
+                    ///< next power loss
+  kDiskBitRot,      ///< flip `count` durable bits in `node`'s shard files
+  kDiskFull,        ///< `node`'s disk reports ENOSPC for `duration`
+  kDiskStall,       ///< `node`'s next `count` disk ops fail with IO errors
 };
 
 [[nodiscard]] const char* fault_name(FaultKind kind);
@@ -87,6 +96,11 @@ struct Scenario {
   /// (campaign_wan_topology) with WAN-scaled protocol timeouts and a longer
   /// drain, instead of the single-switch LAN fabric.
   bool wan = false;
+  /// KV-level run with per-node durability: every replica persists through
+  /// a ReplicaStore over the node's SimDisk, and the DurabilityOracle
+  /// judges every recovery against the committed history. Implies kv_level
+  /// semantics; single-ring only.
+  bool durable = false;
 };
 
 /// The 3-datacenter topology every WAN campaign scenario runs on: `nodes`

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "membership/membership.hpp"
+#include "util/rng.hpp"
 
 namespace accelring::harness {
 
@@ -56,6 +57,7 @@ SimCluster::SimCluster(const simnet::Topology& topo,
       cfg_(cfg),
       profile_(profile),
       setup_(NodeSetup::for_profile(profile)),
+      seed_(seed),
       net_(eq_, fabric, topo, seed) {
   init(topo.num_hosts());
 }
@@ -76,6 +78,7 @@ SimCluster::SimCluster(simnet::EventQueue& eq, const simnet::Topology& topo,
       cfg_(cfg),
       profile_(profile),
       setup_(NodeSetup::for_profile(profile)),
+      seed_(seed),
       net_(eq_, fabric, topo, seed) {
   init(topo.num_hosts());
 }
@@ -89,10 +92,17 @@ void SimCluster::init(int num_nodes) {
   setup_.proc_costs.mtu = fabric_.mtu;
   nodes_.resize(num_nodes);
   restarts_.assign(static_cast<size_t>(num_nodes), 0);
-  epoch_stores_.clear();
+  disks_.clear();
   for (int i = 0; i < num_nodes; ++i) {
-    epoch_stores_.push_back(std::make_unique<membership::MemoryEpochStore>());
+    // Each node's disk gets its own deterministic rng stream, derived from
+    // the cluster seed; disk randomness (torn-write resolution) never
+    // perturbs the network rng.
+    uint64_t mix = seed_ * 0x9e3779b97f4a7c15ULL +
+                   static_cast<uint64_t>(i) + 0x6469736bULL;  // "disk"
+    disks_.push_back(std::make_unique<storage::SimDisk>(util::splitmix64(mix)));
   }
+  epoch_stores_.clear();
+  epoch_stores_.resize(static_cast<size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) wire_node(i);
 }
 
@@ -115,7 +125,14 @@ void SimCluster::wire_node(int i) {
   // their own via engine(i).set_tracer().
   node.tracer = std::make_unique<util::Tracer>(16384);
   node.engine->set_tracer(node.tracer.get());
-  node.engine->set_epoch_store(epoch_stores_[static_cast<size_t>(i)].get());
+  // Fresh epoch-store object per incarnation (daemon memory), over the
+  // node's surviving disk (the epoch file). The previous incarnation's
+  // store goes to the graveyard: its retired engine still points at it.
+  auto& store_slot = epoch_stores_[static_cast<size_t>(i)];
+  if (store_slot) retired_epoch_stores_.push_back(std::move(store_slot));
+  store_slot = std::make_unique<storage::DiskEpochStore>(
+      *disks_[static_cast<size_t>(i)], "epoch");
+  node.engine->set_epoch_store(store_slot.get());
   if (metrics_enabled_) attach_metrics(i);
   node.host->bind(*node.engine);
   node.process->set_sink(node.host.get());
@@ -179,6 +196,12 @@ obs::MetricsRegistry SimCluster::merged_metrics() const {
 void SimCluster::crash_node(int node) {
   assert(node >= 0 && node < size());
   net_.set_host_down(node, true);
+  // A crash is a power cut: everything un-fsynced on the node's disk dies
+  // right now, per the disk's crash mode. The disk itself stays operational
+  // (and survives into the next incarnation), matching the pre-storage
+  // behavior where the epoch store kept accepting writes from the zombie
+  // engine between crash and restart.
+  disks_[static_cast<size_t>(node)]->power_loss();
 }
 
 void SimCluster::restart_node(int node) {

@@ -21,6 +21,8 @@
 
 #include "membership/epoch_store.hpp"
 #include "obs/metrics.hpp"
+#include "storage/epoch_store.hpp"
+#include "storage/sim_disk.hpp"
 #include "protocol/engine.hpp"
 #include "simnet/event_queue.hpp"
 #include "simnet/network.hpp"
@@ -242,10 +244,19 @@ class SimCluster {
   /// retired incarnations), plus cluster-level counters mirrored from
   /// stats() — delivery counts, socket drops, and fabric volume.
   [[nodiscard]] obs::MetricsRegistry merged_metrics() const;
-  /// Per-node "disk": the epoch store that survives restart_node, modelling
-  /// the on-disk epoch file of a real daemon across a cold restart.
-  [[nodiscard]] membership::MemoryEpochStore& epoch_store(int node) {
+  /// Per-node epoch store, backed by the node's SimDisk (the file survives
+  /// restart_node, modelling the on-disk epoch file of a real daemon across
+  /// a cold restart; the store *object* is recreated per incarnation, like
+  /// the daemon's in-memory cache of it).
+  [[nodiscard]] membership::EpochStore& epoch_store(int node) {
     return *epoch_stores_[static_cast<size_t>(node)];
+  }
+  /// Per-node simulated disk. Survives restart_node (a reboot keeps the
+  /// disk); crash_node power-cuts it, restart_node resolves the power loss
+  /// (un-fsynced state dies per the disk's crash mode) before the fresh
+  /// incarnation recovers from whatever is durable.
+  [[nodiscard]] storage::SimDisk& disk(int node) {
+    return *disks_[static_cast<size_t>(node)];
   }
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] const NodeSetup& setup() const { return setup_; }
@@ -274,6 +285,7 @@ class SimCluster {
   protocol::ProtocolConfig cfg_;
   ImplProfile profile_;
   NodeSetup setup_;
+  uint64_t seed_;
   simnet::Network net_;
   std::vector<SimNode> nodes_;
   /// Crashed-and-replaced nodes, kept alive for pointer stability (pending
@@ -283,7 +295,13 @@ class SimCluster {
   bool metrics_enabled_ = false;
   /// One per node index; deliberately NOT reset by restart_node (it is the
   /// node's disk, and a cold restart keeps the disk).
-  std::vector<std::unique_ptr<membership::MemoryEpochStore>> epoch_stores_;
+  std::vector<std::unique_ptr<storage::SimDisk>> disks_;
+  /// One per node index, over the node's disk; recreated by wire_node per
+  /// incarnation (fresh daemon memory over the surviving disk).
+  std::vector<std::unique_ptr<storage::DiskEpochStore>> epoch_stores_;
+  /// Epoch stores of retired incarnations, kept alive for pointer stability
+  /// (the retired engine holds a raw pointer to its store).
+  std::vector<std::unique_ptr<storage::DiskEpochStore>> retired_epoch_stores_;
   DeliverFn on_deliver_;
   ConfigFn on_config_;
   std::vector<DeliverFn> deliver_observers_;

@@ -66,6 +66,7 @@ void KvService::init() {
   const auto k = static_cast<size_t>(cfg_.shards);
   machines_.resize(n);
   replicas_.resize(n);
+  stores_.resize(n);
   leases_.resize(n);
   views_.assign(n, std::vector<std::vector<ProcessId>>(k));
   lease_gen_.assign(n, std::vector<uint64_t>(k, 0));
@@ -88,10 +89,23 @@ void KvService::init() {
 void KvService::setup_node(int node, bool founder) {
   auto& machines = machines_[static_cast<size_t>(node)];
   auto& replicas = replicas_[static_cast<size_t>(node)];
+  auto& stores = stores_[static_cast<size_t>(node)];
   auto& leases = leases_[static_cast<size_t>(node)];
+  // A retiring incarnation's divergence audits must stay visible: they are
+  // the proof obligation that disk recovery never resurrects a forked
+  // lineage (see total_divergence()).
+  for (const auto& replica : replicas) {
+    stats_.divergence_carried += replica->stats().divergence_detected;
+  }
   machines.clear();
   replicas.clear();
+  stores.clear();  // after the replicas that point into them
   leases.clear();
+  if (cfg_.store_factory) {
+    for (int shard = 0; shard < cfg_.shards; ++shard) {
+      stores.push_back(cfg_.store_factory(node, shard));
+    }
+  }
   exposed_version_[static_cast<size_t>(node)].assign(
       static_cast<size_t>(cfg_.shards), 0);
   for (int shard = 0; shard < cfg_.shards; ++shard) {
@@ -126,10 +140,27 @@ void KvService::setup_node(int node, bool founder) {
           }
           return true;
         },
-        founder, cfg_.replica));
+        founder, cfg_.replica,
+        stores.empty() ? nullptr : stores[static_cast<size_t>(shard)].get()));
     wire_shard(node, shard);
+    if (replicas.back()->stats().recovered_from_disk != 0) {
+      // Disk recovery re-applied history before the observer was installed;
+      // catch-up replay at or below it must not re-surface those versions.
+      exposed_version_[static_cast<size_t>(node)][static_cast<size_t>(shard)] =
+          machines[static_cast<size_t>(shard)]->version();
+    }
   }
   if (metrics_bound_) bind_node_metrics(node);
+}
+
+uint64_t KvService::total_divergence() const {
+  uint64_t total = stats_.divergence_carried;
+  for (const auto& per_node : replicas_) {
+    for (const auto& replica : per_node) {
+      if (replica != nullptr) total += replica->stats().divergence_detected;
+    }
+  }
+  return total;
 }
 
 void KvService::wire_shard(int node, int shard) {

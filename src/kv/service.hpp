@@ -36,6 +36,7 @@
 #include "kv/state_machine.hpp"
 #include "multiring/ring_set.hpp"
 #include "rsm/replica.hpp"
+#include "storage/replica_store.hpp"
 
 namespace accelring::kv {
 
@@ -48,6 +49,15 @@ struct ServiceConfig {
   /// -> make_value(i, preload_value_size) for i in [0, preload_keys).
   uint64_t preload_keys = 0;
   size_t preload_value_size = 64;
+  /// Optional durability: when set, every (node, shard) replica runs over a
+  /// ReplicaStore from this factory — WAL appends before apply, durable
+  /// checkpoints, cold restart from disk before peer state transfer. The
+  /// factory is re-invoked on restart (fresh store object = fresh daemon
+  /// memory; the disk underneath is whatever the factory hands back).
+  using StoreFactory =
+      std::function<std::unique_ptr<storage::ReplicaStore>(int node,
+                                                           int shard)>;
+  StoreFactory store_factory;
 };
 
 /// The canonical key/value naming the preloader, workload, and tests share.
@@ -69,6 +79,9 @@ class KvService {
     /// Grant frames whose sender was not the designated holder of the
     /// receiver's current view (stale holder racing a view change).
     uint64_t grants_rejected = 0;
+    /// divergence_detected carried over from replicas retired by restarts
+    /// (see total_divergence()).
+    uint64_t divergence_carried = 0;
   };
 
   /// Single-shard service over one cluster. Requires cfg.shards == 1.
@@ -113,6 +126,10 @@ class KvService {
   [[nodiscard]] int shards() const { return cfg_.shards; }
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Boundary-CRC divergence audits across every replica incarnation this
+  /// run, including ones retired by restarts. In a durable run this must
+  /// stay 0: recovering from disk must never resurrect a diverged lineage.
+  [[nodiscard]] uint64_t total_divergence() const;
 
  private:
   void init();
@@ -137,6 +154,7 @@ class KvService {
   /// All remaining state is [node][shard].
   std::vector<std::vector<std::unique_ptr<KvStateMachine>>> machines_;
   std::vector<std::vector<std::unique_ptr<rsm::Replica>>> replicas_;
+  std::vector<std::vector<std::unique_ptr<storage::ReplicaStore>>> stores_;
   std::vector<std::vector<std::unique_ptr<LeaseTable>>> leases_;
   std::vector<std::vector<std::vector<ProcessId>>> views_;  ///< sorted
   /// Bumped on every view change / crash / restart; outstanding renewal

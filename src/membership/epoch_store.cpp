@@ -1,88 +1,42 @@
 #include "membership/epoch_store.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
+#include <utility>
 
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-
-#include "util/log.hpp"
+#include "storage/epoch_store.hpp"
+#include "storage/file_disk.hpp"
 
 namespace accelring::membership {
 
 namespace {
-constexpr const char* kTag = "epoch_store";
+
+// Splits a file path into (directory, basename) for the FileDisk layout.
+std::pair<std::string, std::string> split_path(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return {".", path};
+  if (slash == 0) return {"/", path.substr(1)};
+  return {path.substr(0, slash), path.substr(slash + 1)};
 }
 
-FileEpochStore::FileEpochStore(std::string path) : path_(std::move(path)) {}
+}  // namespace
 
-uint64_t FileEpochStore::load() {
-  if (loaded_) return cached_;
-  loaded_ = true;
-  cached_ = 0;
-  FILE* f = std::fopen(path_.c_str(), "r");
-  if (f == nullptr) return cached_;  // first boot: no file yet
-  char buf[32];
-  const size_t n = std::fread(buf, 1, sizeof(buf), f);
-  std::fclose(f);
-  // Strict format check: store() only ever writes digits + '\n'. Anything
-  // else — a truncated write, filesystem corruption, a stray edit — is
-  // treated as ABSENT, not parsed best-effort: a torn "45" left over from
-  // "4567\n" would otherwise load as a plausible epoch far below the real
-  // floor, which is exactly the stale-ring-id hole this store exists to
-  // close. Absent means log loudly and re-mint from 0; the store must never
-  // stop a daemon from booting.
-  bool valid = n >= 2 && n < sizeof(buf) && buf[n - 1] == '\n';
-  for (size_t i = 0; valid && i + 1 < n; ++i) {
-    valid = buf[i] >= '0' && buf[i] <= '9';
-  }
-  if (!valid) {
-    ACCELRING_LOG_WARN(kTag,
-                       "corrupt epoch file %s (%zu bytes): treating as "
-                       "absent, re-minting from 0",
-                       path_.c_str(), n);
-    return cached_;
-  }
-  buf[n - 1] = '\0';
-  cached_ = std::strtoull(buf, nullptr, 10);
-  return cached_;
-}
+struct FileEpochStore::Impl {
+  explicit Impl(const std::string& path)
+      : parts(split_path(path)),
+        disk(parts.first),
+        store(disk, parts.second) {}
 
-void FileEpochStore::store(uint64_t epoch) {
-  if (epoch <= load()) return;
-  cached_ = epoch;
-  // Write-rename so a crash mid-write leaves the old value, never a torn
-  // one; fsync before rename so the rename never outruns the data.
-  const std::string tmp = path_ + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    ACCELRING_LOG_WARN(kTag, "cannot write %s: %s", tmp.c_str(),
-                       std::strerror(errno));
-    return;
-  }
-  char buf[32];
-  const int len = std::snprintf(buf, sizeof(buf), "%llu\n",
-                                static_cast<unsigned long long>(epoch));
-  ssize_t written = 0;
-  while (written < len) {
-    const ssize_t n = ::write(fd, buf + written, static_cast<size_t>(len) -
-                                                     static_cast<size_t>(written));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    written += n;
-  }
-  ::fsync(fd);
-  ::close(fd);
-  if (written == len) {
-    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
-      ACCELRING_LOG_WARN(kTag, "rename %s failed: %s", tmp.c_str(),
-                         std::strerror(errno));
-    }
-  }
-}
+  std::pair<std::string, std::string> parts;
+  storage::FileDisk disk;
+  storage::DiskEpochStore store;
+};
+
+FileEpochStore::FileEpochStore(std::string path)
+    : impl_(std::make_unique<Impl>(path)) {}
+
+FileEpochStore::~FileEpochStore() = default;
+
+uint64_t FileEpochStore::load() { return impl_->store.load(); }
+
+void FileEpochStore::store(uint64_t epoch) { impl_->store.store(epoch); }
 
 }  // namespace accelring::membership

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace accelring::membership {
@@ -41,19 +42,23 @@ class MemoryEpochStore final : public EpochStore {
   uint64_t epoch_ = 0;
 };
 
-/// File-backed store: writes `path` atomically (temp file + fsync + rename).
-/// A missing or unreadable/garbage file loads as 0 — the store must never
-/// stop a daemon from booting; it only raises the epoch floor when it can.
+/// File-backed store: writes `path` atomically (temp file + fsync + rename +
+/// directory fsync — rename alone is not power-loss durable). A missing or
+/// unreadable/garbage file loads as 0 — the store must never stop a daemon
+/// from booting; it only raises the epoch floor when it can.
+///
+/// Implemented over storage::FileDisk + storage::DiskEpochStore (pimpl to
+/// keep the storage headers out of membership's public surface).
 class FileEpochStore final : public EpochStore {
  public:
   explicit FileEpochStore(std::string path);
+  ~FileEpochStore() override;
   [[nodiscard]] uint64_t load() override;
   void store(uint64_t epoch) override;
 
  private:
-  std::string path_;
-  uint64_t cached_ = 0;
-  bool loaded_ = false;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace accelring::membership

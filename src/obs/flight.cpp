@@ -55,6 +55,11 @@ std::string flight_to_json(const FlightRecord& record) {
   w.key("violations").begin_array();
   for (const auto& v : record.violations) w.value(v);
   w.end_array();
+  if (!record.storage_faults.empty()) {
+    w.key("storage_faults").begin_array();
+    for (const auto& f : record.storage_faults) w.value(f);
+    w.end_array();
+  }
   w.key("nodes").begin_array();
   for (const auto& node : record.nodes) {
     w.begin_object();

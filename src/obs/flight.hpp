@@ -38,6 +38,10 @@ struct FlightRecord {
   uint64_t seed = 0;
   util::Nanos captured_at = 0;
   std::vector<std::string> violations;  ///< empty for on-demand dumps
+  /// Injected storage-fault schedule (per-node SimDisk fault logs, prefixed
+  /// with the node name). Serialized only when non-empty, so artifacts from
+  /// non-durable runs are unchanged.
+  std::vector<std::string> storage_faults;
   std::vector<FlightNode> nodes;
   const MetricsRegistry* metrics = nullptr;  ///< optional, not owned
 

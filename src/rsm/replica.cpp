@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "storage/replica_store.hpp"
 #include "util/bytes.hpp"
 #include "util/crc32.hpp"
 
@@ -35,16 +36,46 @@ RsmMetrics RsmMetrics::bind(obs::MetricsRegistry& registry) {
 }
 
 Replica::Replica(ProcessId self, StateMachine& machine, SubmitFn submit,
-                 bool founder, ReplicaOptions options)
+                 bool founder, ReplicaOptions options,
+                 storage::ReplicaStore* store)
     : self_(self),
       machine_(machine),
       submit_(std::move(submit)),
       opt_(options),
+      store_(store),
       initialized_(founder) {
+  if (store_ != nullptr) {
+    // Cold restart from disk comes FIRST: checkpoint restore + WAL replay.
+    // Peer state transfer remains as the fallback (disk empty or corrupt)
+    // and as the reconciliation path when the ring moved past us.
+    storage::RecoverResult rec = store_->recover();
+    if (rec.has_state) {
+      machine_.restore(rec.state);
+      position_ = rec.position;
+      checkpoint_state_ = std::move(rec.state);
+      checkpoint_position_ = rec.position;
+      for (const std::vector<std::byte>& cmd : rec.commands) {
+        // Applied silently — callers install apply observers after
+        // construction, so recovery never re-announces history to clients.
+        machine_.apply(cmd);
+        ++position_;
+        log_.push_back(cmd);
+      }
+      stats_.recovered_from_disk = 1;
+      stats_.recovered_commands = rec.commands.size();
+      initialized_ = true;
+      return;
+    }
+  }
   if (founder) {
     // The founding checkpoint: the machine's initial state at position 0.
     checkpoint_state_ = machine_.snapshot();
     checkpoint_position_ = 0;
+    // Persisting it makes the store self-sufficient from the first command
+    // (append() requires a canonical WAL, which save_checkpoint creates).
+    if (store_ != nullptr) {
+      (void)store_->save_checkpoint(0, checkpoint_state_);
+    }
   }
 }
 
@@ -57,7 +88,13 @@ bool Replica::submit(std::span<const std::byte> command) {
   return submit_(std::move(w).take());
 }
 
+void Replica::persist_command(std::span<const std::byte> command) {
+  if (store_ == nullptr) return;
+  if (!store_->append(command)) ++stats_.wal_append_failures;
+}
+
 void Replica::apply_command(std::span<const std::byte> command) {
+  persist_command(command);  // write-ahead: durable before visible
   machine_.apply(command);
   ++position_;
   ++stats_.applied;
@@ -79,6 +116,12 @@ void Replica::take_checkpoint() {
   log_.clear();
   ++stats_.checkpoints;
   if (metrics_.checkpoints != nullptr) metrics_.checkpoints->inc();
+  // Durable checkpoint + WAL truncation; also heals a latched-broken WAL
+  // (the store refuses appends after one failure so the on-disk log stays
+  // an exact prefix — the next checkpoint re-roots durability here).
+  if (store_ != nullptr) {
+    (void)store_->save_checkpoint(checkpoint_position_, checkpoint_state_);
+  }
 }
 
 void Replica::send_transfer() {
@@ -160,6 +203,7 @@ void Replica::send_announce() {
 void Replica::replay_buffered() {
   if (!replay_valid_) return;
   for (size_t i = adopt_replay_from_; i < replay_log_.size(); ++i) {
+    persist_command(replay_log_[i]);
     machine_.apply(replay_log_[i]);
     ++position_;
     log_.push_back(replay_log_[i]);
@@ -256,7 +300,13 @@ void Replica::adopt_transfer(ProcessId /*sender*/, Transfer& xfer) {
   checkpoint_state_ = std::move(xfer.state);
   checkpoint_position_ = position_;
   log_.clear();
+  // The adopted snapshot replaces our whole lineage on disk too: persist it
+  // before the suffix appends so the WAL base matches the new checkpoint.
+  if (store_ != nullptr) {
+    (void)store_->save_checkpoint(checkpoint_position_, checkpoint_state_);
+  }
   for (std::vector<std::byte>& cmd : xfer.suffix) {
+    persist_command(cmd);
     machine_.apply(cmd);
     ++position_;
     log_.push_back(std::move(cmd));

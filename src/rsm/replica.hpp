@@ -62,6 +62,10 @@
 #include "obs/metrics.hpp"
 #include "protocol/types.hpp"
 
+namespace accelring::storage {
+class ReplicaStore;
+}  // namespace accelring::storage
+
 namespace accelring::rsm {
 
 using protocol::ProcessId;
@@ -117,6 +121,9 @@ struct ReplicaStats {
   uint64_t send_failures = 0;          ///< transfer frames shed by submit
   uint64_t restore_position = 0;       ///< base position of last restore
   uint64_t deferred_flushed = 0;       ///< deferred commands applied as-is
+  uint64_t recovered_from_disk = 0;    ///< cold starts served by the store
+  uint64_t recovered_commands = 0;     ///< WAL commands replayed at recovery
+  uint64_t wal_append_failures = 0;    ///< commands the WAL failed to persist
 };
 
 /// Registry bindings mirroring ReplicaStats into an obs::MetricsRegistry
@@ -145,8 +152,16 @@ class Replica {
 
   /// `founder` replicas start initialized with the state machine's current
   /// (usually empty) state; non-founders wait for a state transfer.
+  ///
+  /// With a `store`, the replica is crash-consistent: the constructor first
+  /// replays the store's checkpoint + WAL (cold restart from disk — state
+  /// transfer from a peer becomes the fallback, not the only path), every
+  /// command is WAL-appended before it is applied, and periodic checkpoints
+  /// persist through the store and truncate the WAL. The store must outlive
+  /// the replica.
   Replica(ProcessId self, StateMachine& machine, SubmitFn submit,
-          bool founder, ReplicaOptions options = {});
+          bool founder, ReplicaOptions options = {},
+          storage::ReplicaStore* store = nullptr);
 
   /// Propose a command for replicated execution.
   bool submit(std::span<const std::byte> command);
@@ -184,6 +199,7 @@ class Replica {
   }
   [[nodiscard]] size_t retained_log_size() const { return log_.size(); }
   [[nodiscard]] const ReplicaOptions& options() const { return opt_; }
+  [[nodiscard]] storage::ReplicaStore* store() const { return store_; }
 
  private:
   /// One in-progress incoming transfer, assembled per sender (a sender's
@@ -211,6 +227,9 @@ class Replica {
   };
 
   void apply_command(std::span<const std::byte> command);
+  /// WAL-append `command` (write-ahead: called before the state machine
+  /// applies it). No-op without a store; failures latch inside the store.
+  void persist_command(std::span<const std::byte> command);
   void maybe_checkpoint();
   void take_checkpoint();
   void send_transfer();
@@ -230,6 +249,7 @@ class Replica {
   StateMachine& machine_;
   SubmitFn submit_;
   ReplicaOptions opt_;
+  storage::ReplicaStore* store_;  ///< durable WAL+checkpoint; may be null
   bool initialized_;
   std::set<ProcessId> members_;  ///< current regular configuration
 

@@ -1,0 +1,71 @@
+// The storage abstraction: a tiny named-blob filesystem with explicit
+// durability barriers, mirroring simnet's sans-io idiom. Everything above
+// this interface (WAL, checkpoints, epoch files) is written once and runs
+// unchanged against the deterministic fault-injecting SimDisk in tests and
+// against FileDisk (a directory of real files) in production.
+//
+// Durability contract (what survives a power loss):
+//   * write()/append()/truncate() data is NOT durable until fsync(name).
+//   * rename()/remove() and file *creation* are NOT durable until
+//     fsync_dir() — the namespace has its own barrier, exactly like a
+//     POSIX directory fsync.
+//   * A crash may tear, drop, or reorder any non-durable suffix; SimDisk
+//     exercises every one of those behaviours deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace accelring::storage {
+
+enum class IoStatus : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kNoSpace,
+  kIoError,
+};
+
+[[nodiscard]] inline const char* io_status_name(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kNotFound: return "not_found";
+    case IoStatus::kNoSpace: return "no_space";
+    case IoStatus::kIoError: return "io_error";
+  }
+  return "?";
+}
+
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  // Reads the whole file into `out` (replacing its contents).
+  [[nodiscard]] virtual IoStatus read(const std::string& name,
+                                      std::vector<std::byte>& out) = 0;
+  // Creates-or-replaces the file with `data`.
+  [[nodiscard]] virtual IoStatus write(const std::string& name,
+                                       std::span<const std::byte> data) = 0;
+  // Appends to the file (creating it if absent).
+  [[nodiscard]] virtual IoStatus append(const std::string& name,
+                                        std::span<const std::byte> data) = 0;
+  // Truncates the file to `size` bytes (no-op if already smaller).
+  [[nodiscard]] virtual IoStatus truncate(const std::string& name,
+                                          uint64_t size) = 0;
+  // Durability barrier for the file's *data*.
+  [[nodiscard]] virtual IoStatus fsync(const std::string& name) = 0;
+  // Atomically renames `from` over `to` (replacing it).
+  [[nodiscard]] virtual IoStatus rename(const std::string& from,
+                                        const std::string& to) = 0;
+  [[nodiscard]] virtual IoStatus remove(const std::string& name) = 0;
+  // Durability barrier for the namespace (creations/renames/removes).
+  [[nodiscard]] virtual IoStatus fsync_dir() = 0;
+
+  [[nodiscard]] virtual bool exists(const std::string& name) = 0;
+  // Size in bytes, or 0 if absent.
+  [[nodiscard]] virtual uint64_t size(const std::string& name) = 0;
+};
+
+}  // namespace accelring::storage

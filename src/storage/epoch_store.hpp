@@ -1,0 +1,32 @@
+// membership::EpochStore over the storage::Disk layer.
+//
+// Same strict format as the original FileEpochStore (ASCII digits + '\n';
+// anything else loads as absent — the store only ever raises the epoch
+// floor, it must never stop a daemon from booting), but the write path now
+// goes through the full durability protocol: tmp → fsync → rename →
+// fsync_dir. The directory barrier is the fix this layer exists for —
+// rename alone is not power-loss durable.
+#pragma once
+
+#include <string>
+
+#include "membership/epoch_store.hpp"
+#include "storage/disk.hpp"
+
+namespace accelring::storage {
+
+class DiskEpochStore final : public membership::EpochStore {
+ public:
+  DiskEpochStore(Disk& disk, std::string name);
+
+  [[nodiscard]] uint64_t load() override;
+  void store(uint64_t epoch) override;
+
+ private:
+  Disk& disk_;
+  std::string name_;
+  uint64_t cached_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace accelring::storage

@@ -346,6 +346,47 @@ TEST(CampaignTest, WanSeedCorpusClean) {
 #endif
 }
 
+// The storage corpus replays only the durable-KV scenarios (whole-cluster
+// power loss, torn-write/lost-suffix injection, bit rot, ENOSPC/stall):
+// each seed drives per-node SimDisk fault schedules plus the
+// DurabilityOracle, which the LAN and WAN corpora never exercise. Kept
+// separate so durable replay time does not grow the other suites.
+TEST(CampaignTest, StorageSeedCorpusClean) {
+#ifndef ACCELRING_STORAGE_SEED_CORPUS
+  GTEST_SKIP() << "storage corpus path not configured";
+#else
+  std::vector<uint64_t> corpus;
+  std::ifstream in(ACCELRING_STORAGE_SEED_CORPUS);
+  ASSERT_TRUE(in.is_open()) << ACCELRING_STORAGE_SEED_CORPUS;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    corpus.push_back(std::strtoull(line.c_str() + start, nullptr, 0));
+  }
+  ASSERT_FALSE(corpus.empty());
+
+  CampaignOptions opt;
+  opt.run = fast_run_options();
+  opt.seeds_per_scenario = 0;
+  opt.extra_seeds = corpus;
+  for (const Scenario& sc : scenarios()) {
+    if (sc.durable) opt.only.push_back(sc.name);
+  }
+  ASSERT_GE(opt.only.size(), 4u);  // the durable catalogue
+  const CampaignResult result = run_campaign(opt);
+  EXPECT_EQ(result.failures, 0);
+  EXPECT_EQ(result.runs, static_cast<int>(opt.only.size() * corpus.size()));
+  for (const FailureCase& fc : result.cases) {
+    ADD_FAILURE() << fc.scenario << " seed=" << fc.seed << "\n"
+                  << describe(fc.schedule) << "\n"
+                  << fc.report;
+  }
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // Mutation: an injected merge-ordering bug must be caught by the oracles and
 // shrunk to a minimal (<= 5 event) reproducer.

@@ -94,6 +94,26 @@ mkdir -p "${WAN_DIR}"
 ACCELRING_BENCH_DIR="${WAN_DIR}" ./build/bench/fig_wan_topologies --smoke >/dev/null
 python3 tools/validate_bench_json.py "${WAN_DIR}"/BENCH_wan_*.json
 
+# Storage acceptance: every durable-storage campaign scenario (whole-cluster
+# power loss, torn/reordered write caches, bit rot, ENOSPC/stall) stays
+# clean — DurabilityOracle + KvOracle attached — across a seed sweep plus
+# the storage.seeds regression corpus, and the KV smoke with per-node WAL +
+# checkpoint persistence enabled emits a validating artifact. Guards the
+# whole durability stack: SimDisk crash semantics, ReplicaStore recovery,
+# replica cold restart from disk, and the durability oracle itself.
+echo "=== build: storage campaign + durable kv smoke ==="
+./build/tools/check_campaign --quiet --seeds 20 --rings 1 \
+  --seed-file tests/seeds/storage.seeds \
+  --scenario kv_blackout --scenario kv_blackout_torn \
+  --scenario kv_disk_bitrot --scenario kv_disk_stress
+STORAGE_DIR="build/storage_artifacts"
+rm -rf "${STORAGE_DIR}"
+mkdir -p "${STORAGE_DIR}"
+ACCELRING_BENCH_DIR="${STORAGE_DIR}" \
+  ./build/bench/kv_service --smoke --shards 1 --durable >/dev/null
+python3 tools/validate_bench_json.py \
+  "${STORAGE_DIR}/BENCH_kv_smoke_1shard_durable.json"
+
 if [[ "${FAST}" == "0" ]]; then
   configure_and_test build-asan -DACCELRING_SANITIZE=address
   configure_and_test build-ubsan -DACCELRING_SANITIZE=undefined
