@@ -14,12 +14,15 @@
 // point schema's throughput fields, reused so one validator and plotter
 // handle every artifact). Latency quantiles are client-observed completion
 // times in nanoseconds, split by path (lease read / ordered read / write)
-// in the per-point kv extras.
+// in the per-point kv extras, and by shard in each point's "shards" array
+// (ops + op-mix + p50/p99 per shard — the live balance check for the
+// consistent-hash map, and the before/after comparison for migrations).
 //
 // `--smoke [--shards K]` runs one short single-K point for CI; the full
 // sweep takes a few minutes. `--durable` gives every node a SimDisk and
 // runs the replicas over WAL + checkpoint stores (storage::ReplicaStore),
 // so the smoke also covers the persistence write path end to end.
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -35,6 +38,18 @@
 namespace accelring::bench {
 namespace {
 
+/// Per-shard slice of the measure window: which shard did the work and at
+/// what client-observed latency. A balanced map should show ops within the
+/// consistent-hash bound of each other and near-identical quantiles; a hot
+/// shard shows up as one row with outsized ops and a fatter p99.
+struct ShardLoad {
+  uint64_t ops = 0;            ///< completions resolved by this shard
+  uint64_t lease_reads = 0;
+  uint64_t ordered_reads = 0;
+  uint64_t mutations = 0;
+  obs::Histogram latency;      ///< completion latency, this shard only
+};
+
 struct KvPoint {
   double offered_kops = 0;   ///< mean offered rate over the measure window
   double achieved_kops = 0;  ///< completed ops/sec over the measure window
@@ -47,6 +62,7 @@ struct KvPoint {
   obs::Histogram lease_read;
   obs::Histogram ordered_read;
   obs::Histogram write;
+  std::vector<ShardLoad> per_shard;  ///< breakdown by Outcome::shard
   std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
@@ -91,6 +107,32 @@ KvPoint run_kv_point(int shards, double base_rate, uint64_t sessions,
   service.bind_metrics();
   rings.start_static();
 
+  // Per-shard tap: the service's outcome observer sees every resolution
+  // (the workload observes per-op completion callbacks, not this slot), so
+  // it can split the measure window by Outcome::shard.
+  std::vector<ShardLoad> per_shard(static_cast<size_t>(shards));
+  const util::Nanos measure_from = util::msec(150);
+  service.set_on_outcome(
+      [&per_shard, measure_from, stop](int /*node*/,
+                                       const kv::Frontend::Outcome& o) {
+        if (o.done_at < measure_from || o.done_at > stop) return;
+        if (o.shard < 0 || static_cast<size_t>(o.shard) >= per_shard.size()) {
+          return;
+        }
+        ShardLoad& s = per_shard[static_cast<size_t>(o.shard)];
+        ++s.ops;
+        if (o.type == kv::OpType::kGet) {
+          if (o.lease_served) {
+            ++s.lease_reads;
+          } else {
+            ++s.ordered_reads;
+          }
+        } else {
+          ++s.mutations;
+        }
+        s.latency.record(o.done_at - o.issued_at);
+      });
+
   kv::WorkloadConfig wcfg;
   wcfg.sessions = sessions;
   wcfg.keys = scfg.preload_keys;
@@ -102,7 +144,7 @@ KvPoint run_kv_point(int shards, double base_rate, uint64_t sessions,
   wcfg.period = util::sec(1);
   wcfg.start = util::msec(50);
   wcfg.stop = stop;
-  wcfg.measure_from = util::msec(150);
+  wcfg.measure_from = measure_from;
   wcfg.churn_per_sec = 50;
   wcfg.seed = seed;
   kv::SessionWorkload workload(service, wcfg);
@@ -124,6 +166,7 @@ KvPoint run_kv_point(int shards, double base_rate, uint64_t sessions,
   p.lease_read = workload.lease_read_latency();
   p.ordered_read = workload.ordered_read_latency();
   p.write = workload.write_latency();
+  p.per_shard = std::move(per_shard);
   auto merged = std::make_shared<obs::MetricsRegistry>(rings.merged_metrics());
   // The validator's instrumentation guard keys on this histogram; for an
   // op-oriented figure the client-observed completion latency is the
@@ -163,6 +206,24 @@ void append_kv_point(obs::JsonWriter& w, const KvPoint& p) {
   w.kv("read_ordered_p99", p.ordered_read.quantile(0.99));
   w.kv("write_p50", p.write.quantile(0.5));
   w.kv("write_p99", p.write.quantile(0.99));
+  // Per-shard breakdown: who did the work, and at what latency. The ops
+  // ratio across rows is the live balance check (consistent-hash bound);
+  // a migration shifts rows between consecutive points of a curve.
+  w.key("shards").begin_array();
+  for (size_t s = 0; s < p.per_shard.size(); ++s) {
+    const ShardLoad& load = p.per_shard[s];
+    w.begin_object()
+        .kv("shard", static_cast<uint64_t>(s))
+        .kv("ops", load.ops)
+        .kv("lease_reads", load.lease_reads)
+        .kv("ordered_reads", load.ordered_reads)
+        .kv("mutations", load.mutations)
+        .kv("p50", load.latency.quantile(0.5))
+        .kv("p99", load.latency.quantile(0.99))
+        .kv("max", load.latency.max())
+        .end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -177,7 +238,8 @@ void emit_kv_artifacts(const std::string& name,
   std::string csv =
       "label,offered_kops,achieved_kops,ops,sessions,lease_reads,"
       "ordered_reads,mutations,p50_us,p99_us,lease_p50_us,lease_p99_us,"
-      "ordered_p50_us,ordered_p99_us,write_p50_us,write_p99_us,timeouts\n";
+      "ordered_p50_us,ordered_p99_us,write_p50_us,write_p99_us,timeouts,"
+      "shard_ops_min,shard_ops_max\n";
   for (const auto& [label, points] : curves) {
     w.begin_object();
     w.kv("label", label);
@@ -186,11 +248,17 @@ void emit_kv_artifacts(const std::string& name,
     for (const KvPoint& p : points) {
       append_kv_point(w, p);
       if (best == nullptr || p.achieved_kops > best->achieved_kops) best = &p;
+      uint64_t shard_min = p.per_shard.empty() ? 0 : p.per_shard[0].ops;
+      uint64_t shard_max = shard_min;
+      for (const ShardLoad& load : p.per_shard) {
+        shard_min = std::min(shard_min, load.ops);
+        shard_max = std::max(shard_max, load.ops);
+      }
       char row[512];
       std::snprintf(
           row, sizeof(row),
           "%s,%.1f,%.1f,%llu,%llu,%llu,%llu,%llu,%.1f,%.1f,%.1f,%.1f,%.1f,"
-          "%.1f,%.1f,%.1f,%llu\n",
+          "%.1f,%.1f,%.1f,%llu,%llu,%llu\n",
           label.c_str(), p.offered_kops, p.achieved_kops,
           static_cast<unsigned long long>(p.measured),
           static_cast<unsigned long long>(p.sessions_touched),
@@ -205,7 +273,9 @@ void emit_kv_artifacts(const std::string& name,
           util::to_usec(p.ordered_read.quantile(0.99)),
           util::to_usec(p.write.quantile(0.5)),
           util::to_usec(p.write.quantile(0.99)),
-          static_cast<unsigned long long>(p.timeouts));
+          static_cast<unsigned long long>(p.timeouts),
+          static_cast<unsigned long long>(shard_min),
+          static_cast<unsigned long long>(shard_max));
       csv += row;
     }
     w.end_array();

@@ -301,6 +301,11 @@ RunResult run_single(const RunOptions& opt, const Schedule& schedule,
         case FaultKind::kDiskStall:
           cluster.disk(e.node).stall_ops(static_cast<int>(e.count));
           break;
+        case FaultKind::kRingOffline:
+        case FaultKind::kMigrate:
+          // Live-migration events drive the multi-ring runner; their
+          // scenarios are skipped at rings == 1.
+          break;
       }
     });
   }
@@ -651,9 +656,25 @@ RunResult run_kv(const RunOptions& opt, const Schedule& schedule,
   return res;
 }
 
+/// The migration campaigns' keyed workload: a small universe of shared
+/// stream ids (so every key sees many messages from many submitters across
+/// a handoff), uniform by default, triangular-skewed toward key 0 for the
+/// hot-shard scenarios. Deterministic in (node, index) alone, so the
+/// MergedOracle recomputes the routing key from the payload stamp.
+uint64_t keyed_stream_id(bool zipf, int node, uint32_t index) {
+  constexpr uint64_t kKeyUniverse = 64;
+  const uint64_t h =
+      multiring::mix64((static_cast<uint64_t>(node) << 32) | index);
+  if (!zipf) return h % kKeyUniverse;
+  // min of two uniforms: mass concentrates at small ids, key 0 hottest.
+  return std::min(h % kKeyUniverse, (h >> 32) % kKeyUniverse);
+}
+
 RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
                     uint64_t seed) {
   const Scenario* msc = find_scenario(schedule.scenario);
+  const bool migration = msc != nullptr && msc->migration;
+  const bool zipf = msc != nullptr && msc->zipf_keys;
   multiring::MultiRingConfig mcfg;
   if (msc != nullptr && msc->wan) mcfg.topology = campaign_wan_topology(opt.nodes);
   mcfg.rings = opt.rings;
@@ -664,7 +685,16 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
   mcfg.merge_batch = opt.merge_batch;
   mcfg.skip_interval = opt.skip_interval;
   mcfg.seed = seed;
+  // A kRingOffline event is a construction-time hint: the last ring starts
+  // owning no hash space (its skip daemon still keeps the merge rotating)
+  // until a kMigrate add brings it in.
+  for (const FaultEvent& e : schedule.events) {
+    if (e.kind == FaultKind::kRingOffline) {
+      mcfg.active_rings = std::max(1, opt.rings - 1);
+    }
+  }
   multiring::RingSet rings(mcfg);
+  if (opt.inject_handoff_bug) rings.inject_stale_flush(1);
   // Same contract as run_single: metrics only feed the flight recorder.
   if (!opt.artifact_dir.empty()) rings.enable_metrics();
 
@@ -698,6 +728,23 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
     });
   } else {
     merged.attach(rings);
+  }
+  if (migration) {
+    // Handoff audit: recompute each delivery's routing key from the payload
+    // stamp (submit_keyed mixes the raw stream id before the arc lookup, so
+    // the oracle mixes identically).
+    merged.enable_handoff_audit(
+        [zipf](const protocol::Delivery& d)
+            -> std::optional<MergedOracle::KeyedPayload> {
+          harness::PayloadStamp stamp;
+          if (!harness::parse_payload(d.payload, stamp)) return std::nullopt;
+          MergedOracle::KeyedPayload kp;
+          kp.key = multiring::mix64(keyed_stream_id(
+              zipf, static_cast<int>(stamp.sender), stamp.index));
+          kp.submitter = stamp.sender;
+          kp.index = stamp.index;
+          return kp;
+        });
   }
 
   rings.start_static();
@@ -802,21 +849,80 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
           // Storage faults drive the durable KV scenarios, which are
           // single-ring only.
           break;
+        case FaultKind::kRingOffline:
+          // Construction-time hint, consumed before the run started.
+          break;
+        case FaultKind::kMigrate: {
+          // Droppable by design: an empty plan (adding an active ring,
+          // removing the last active one, moving a span onto itself) or a
+          // migration already in flight makes start_migration a no-op.
+          if (!rings.migration_idle()) break;
+          const multiring::ShardMap& map = rings.shards();
+          const int k = rings.num_rings();
+          const auto ring_arg = [k](int r) { return r < 0 ? k - 1 : r % k; };
+          multiring::MigrationPlan plan;
+          switch (e.count) {
+            case 1:
+              plan = map.plan_add_ring(ring_arg(e.peer));
+              break;
+            case 2:
+              plan = map.plan_remove_ring(ring_arg(e.node));
+              break;
+            case 3:
+              plan = map.plan_move_fraction(ring_arg(e.node),
+                                            ring_arg(e.peer), e.rate);
+              break;
+            case 4: {
+              // Rebalance: the ring owning stream id 0 (the zipf-hot key) is
+              // the hottest; the smallest ownership share takes the slice.
+              const int hot = map.ring_of_key(multiring::mix64(0));
+              int coldest = 0;
+              for (int r = 1; r < k; ++r) {
+                if (map.owned_fraction(r) < map.owned_fraction(coldest)) {
+                  coldest = r;
+                }
+              }
+              plan = map.plan_move_fraction(hot, coldest, e.rate);
+              break;
+            }
+            default:
+              break;
+          }
+          (void)rings.start_migration(plan);
+          break;
+        }
       }
     });
   }
 
-  arm_workload(eq, opt, [&rings, &oracles, &opt](int node, uint32_t index) {
-    if (rings.node_down(node)) return;
-    const int ring = static_cast<int>(index) % opt.rings;
-    oracles[static_cast<size_t>(ring)]->note_submit(node, index);
-    harness::PayloadStamp stamp;
-    stamp.inject_time = rings.eq().now();
-    stamp.sender = static_cast<uint32_t>(node);
-    stamp.index = index;
-    rings.submit(node, ring, pick_service(index),
-                 harness::make_payload(opt.payload_size, stamp));
-  });
+  if (migration) {
+    // Keyed workload through the per-node ShardRouters: the router (not the
+    // caller) picks the ring, holding moving keys across each handoff, so
+    // the per-ring self-delivery bookkeeping does not apply here — the
+    // MergedOracle's handoff audit owns the continuity obligations.
+    arm_workload(eq, opt, [&rings, &opt, zipf](int node, uint32_t index) {
+      if (rings.node_down(node)) return;
+      harness::PayloadStamp stamp;
+      stamp.inject_time = rings.eq().now();
+      stamp.sender = static_cast<uint32_t>(node);
+      stamp.index = index;
+      rings.submit_keyed(node, keyed_stream_id(zipf, node, index),
+                         pick_service(index),
+                         harness::make_payload(opt.payload_size, stamp));
+    });
+  } else {
+    arm_workload(eq, opt, [&rings, &oracles, &opt](int node, uint32_t index) {
+      if (rings.node_down(node)) return;
+      const int ring = static_cast<int>(index) % opt.rings;
+      oracles[static_cast<size_t>(ring)]->note_submit(node, index);
+      harness::PayloadStamp stamp;
+      stamp.inject_time = rings.eq().now();
+      stamp.sender = static_cast<uint32_t>(node);
+      stamp.index = index;
+      rings.submit(node, ring, pick_service(index),
+                   harness::make_payload(opt.payload_size, stamp));
+    });
+  }
 
   eq.schedule_after(opt.horizon, [&rings, fault] {
     for (int r = 0; r < rings.num_rings(); ++r) {
@@ -866,6 +972,16 @@ RunResult run_multi(const RunOptions& opt, const Schedule& schedule,
   merged.finalize();
   res.ok = res.ok && merged.ok();
   for (const Violation& v : merged.violations()) res.violations.push_back(v);
+  // Handoff liveness: once the last migration completed (controller idle),
+  // every held keyed submission must have flushed to its destination. A
+  // migration still in flight at the end of the drain (e.g. started during
+  // an unhealed partition after shrinking) legitimately keeps its holds.
+  if (migration && rings.migration_idle() && rings.held_messages() != 0) {
+    res.ok = false;
+    res.violations.push_back(Violation{
+        "migration completed but " + std::to_string(rings.held_messages()) +
+        " keyed message(s) still held un-flushed"});
+  }
   std::vector<const std::vector<Violation>*> lists = {&res.violations};
   res.report = join_reports(lists);
   if (!res.ok && !opt.artifact_dir.empty()) {
@@ -971,6 +1087,8 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
       if (!wanted) continue;
     }
     if (opt.run.rings > 1 && !sc.multiring_safe) continue;
+    // Migration scenarios need a ring set to migrate between.
+    if (opt.run.rings <= 1 && sc.migration) continue;
 
     std::vector<uint64_t> seeds;
     for (int i = 0; i < opt.seeds_per_scenario; ++i) {

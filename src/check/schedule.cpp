@@ -611,6 +611,116 @@ Schedule kv_disk_stress(uint64_t seed, int nodes, Nanos horizon) {
   return s;
 }
 
+// --- live-migration scenarios (elastic multiring; see docs/MULTIRING.md) ---
+//
+// Ring indices in these events are schedule-time placeholders: the campaign
+// runner resolves them against the run's ring count K (-1 = last ring,
+// others modulo K), so one schedule replays at any K in the sweep. Every
+// event is independently droppable: a kMigrate whose plan turns out empty
+// (adding an already-active ring, moving a span onto itself) degrades to a
+// no-op inside RingSet::start_migration.
+
+/// Scale-out: the last ring starts offline (owning no hash space), then a
+/// live migration brings it in mid-run while keyed traffic flows, with a
+/// loss burst riding the handoff window.
+Schedule ring_add_under_load(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"ring_add_under_load", {}};
+  FaultEvent offline;
+  offline.kind = FaultKind::kRingOffline;
+  offline.at = 0;
+  offline.node = -1;  // last ring
+  s.events.push_back(std::move(offline));
+  FaultEvent add;
+  add.kind = FaultKind::kMigrate;
+  add.at = fault_time(rng, horizon);
+  add.count = 1;   // mode: add ring
+  add.peer = -1;   // the offline last ring
+  s.events.push_back(std::move(add));
+  if (rng.chance(0.6)) {
+    FaultEvent loss;
+    loss.kind = FaultKind::kLossBurst;
+    loss.at = fault_time(rng, horizon);
+    loss.rate = 0.05 + rng.uniform() * 0.20;
+    loss.duration = util::msec(rng.range(5, 25));
+    s.events.push_back(std::move(loss));
+  }
+  return s;
+}
+
+/// Scale-in: one ring is drained out of the ownership map mid-run — every
+/// arc it owned migrates away under load, and the emptied ring keeps
+/// participating in the merge (skips only).
+Schedule ring_remove_under_load(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"ring_remove_under_load", {}};
+  FaultEvent rm;
+  rm.kind = FaultKind::kMigrate;
+  rm.at = fault_time(rng, horizon);
+  rm.count = 2;  // mode: remove ring
+  rm.node = static_cast<int>(rng.below(8));  // resolved modulo K at run time
+  s.events.push_back(std::move(rm));
+  if (rng.chance(0.6)) {
+    FaultEvent loss;
+    loss.kind = FaultKind::kLossBurst;
+    loss.at = fault_time(rng, horizon);
+    loss.rate = 0.05 + rng.uniform() * 0.20;
+    loss.duration = util::msec(rng.range(5, 25));
+    s.events.push_back(std::move(loss));
+  }
+  return s;
+}
+
+/// A partition cuts the cluster early, heals, and a span migration starts
+/// right behind the heal — the freeze/drain/activate markers order through
+/// whatever retransmission and view-repair backlog the heal left behind.
+/// With the heal dropped (shrinking), the migration starts *during* the
+/// partition and must safely stall rather than hand off.
+Schedule migration_during_partition_heal(uint64_t seed, int nodes,
+                                         Nanos horizon) {
+  Rng rng(seed);
+  Schedule s{"migration_during_partition_heal", {}};
+  FaultEvent cut;
+  cut.kind = FaultKind::kPartition;
+  cut.at = rng.range(horizon / 10, horizon * 3 / 10);
+  cut.group = random_group(rng, nodes);
+  FaultEvent heal;
+  heal.kind = FaultKind::kHeal;
+  heal.at = std::min<Nanos>(cut.at + util::msec(rng.range(20, 50)), horizon);
+  FaultEvent move;
+  move.kind = FaultKind::kMigrate;
+  move.at = std::min<Nanos>(heal.at + util::msec(rng.range(5, 15)), horizon);
+  move.count = 3;  // mode: move fraction
+  move.node = static_cast<int>(rng.below(4));
+  move.peer = move.node + 1 + static_cast<int>(rng.below(3));
+  move.rate = 0.25 + rng.uniform() * 0.35;
+  s.events.push_back(std::move(cut));
+  s.events.push_back(std::move(heal));
+  s.events.push_back(std::move(move));
+  return s;
+}
+
+/// Zipf-skewed keys concentrate traffic on one hot ring; mid-run a
+/// rebalance migrates a slice of the hottest ring's span to the
+/// least-loaded ring while the skewed load keeps hammering the moving keys.
+Schedule hot_shard_zipf_rebalance(uint64_t seed, int nodes, Nanos horizon) {
+  (void)nodes;
+  Rng rng(seed);
+  Schedule s{"hot_shard_zipf_rebalance", {}};
+  const int rounds = static_cast<int>(rng.range(1, 2));
+  for (int i = 0; i < rounds; ++i) {
+    FaultEvent rb;
+    rb.kind = FaultKind::kMigrate;
+    rb.at = fault_time(rng, horizon);
+    rb.count = 4;  // mode: rebalance hottest -> least-loaded
+    rb.rate = 0.30 + rng.uniform() * 0.40;
+    s.events.push_back(std::move(rb));
+  }
+  return s;
+}
+
 }  // namespace
 
 simnet::Topology campaign_wan_topology(int nodes) {
@@ -668,9 +778,30 @@ const char* fault_name(FaultKind kind) {
       return "disk_full";
     case FaultKind::kDiskStall:
       return "disk_stall";
+    case FaultKind::kRingOffline:
+      return "ring_offline";
+    case FaultKind::kMigrate:
+      return "migrate";
   }
   return "?";
 }
+
+namespace {
+const char* migrate_mode_name(uint32_t mode) {
+  switch (mode) {
+    case 1:
+      return "add_ring";
+    case 2:
+      return "remove_ring";
+    case 3:
+      return "move_fraction";
+    case 4:
+      return "rebalance";
+    default:
+      return "?";
+  }
+}
+}  // namespace
 
 std::string describe(const FaultEvent& event) {
   std::ostringstream os;
@@ -760,6 +891,23 @@ std::string describe(const FaultEvent& event) {
     case FaultKind::kDiskStall:
       os << " node=" << event.node << " ops=" << event.count;
       break;
+    case FaultKind::kRingOffline:
+      os << " ring=" << (event.node < 0 ? "last" : std::to_string(event.node));
+      break;
+    case FaultKind::kMigrate:
+      os << " mode=" << migrate_mode_name(event.count);
+      if (event.count == 1) {
+        os << " ring="
+           << (event.peer < 0 ? "last" : std::to_string(event.peer));
+      } else if (event.count == 2) {
+        os << " ring=" << event.node;
+      } else if (event.count == 3) {
+        os << " " << event.node << "->" << event.peer
+           << " frac=" << event.rate;
+      } else if (event.count == 4) {
+        os << " frac=" << event.rate;
+      }
+      break;
   }
   return os.str();
 }
@@ -835,6 +983,25 @@ const std::vector<Scenario>& scenarios() {
       {"kv_disk_stress", kv_disk_stress, false,
        /*client_level=*/false, /*kv_level=*/true, /*wan=*/false,
        /*durable=*/true},
+      // Live-migration scenarios (appended, same stability rule): keyed
+      // workload through the per-node ShardRouters, totally-ordered
+      // freeze/drain/activate handoffs, judged by the MergedOracle's handoff
+      // audit. Multi-ring only (the runner skips them at rings == 1);
+      // multiring_safe=true so the sweep reaches them, including the
+      // partition one — the merged-prefix oracle's content-order fallback
+      // plus the per-node handoff replay stay sound across a split.
+      {"ring_add_under_load", ring_add_under_load, true,
+       /*client_level=*/false, /*kv_level=*/false, /*wan=*/false,
+       /*durable=*/false, /*migration=*/true},
+      {"ring_remove_under_load", ring_remove_under_load, true,
+       /*client_level=*/false, /*kv_level=*/false, /*wan=*/false,
+       /*durable=*/false, /*migration=*/true},
+      {"migration_during_partition_heal", migration_during_partition_heal,
+       true, /*client_level=*/false, /*kv_level=*/false, /*wan=*/false,
+       /*durable=*/false, /*migration=*/true},
+      {"hot_shard_zipf_rebalance", hot_shard_zipf_rebalance, true,
+       /*client_level=*/false, /*kv_level=*/false, /*wan=*/false,
+       /*durable=*/false, /*migration=*/true, /*zipf_keys=*/true},
   };
   return kScenarios;
 }

@@ -50,6 +50,16 @@ enum class FaultKind : uint8_t {
   kDiskBitRot,      ///< flip `count` durable bits in `node`'s shard files
   kDiskFull,        ///< `node`'s disk reports ENOSPC for `duration`
   kDiskStall,       ///< `node`'s next `count` disk ops fail with IO errors
+  // Elastic-multiring faults (migration scenarios; see docs/MULTIRING.md).
+  // Ring indices are resolved against the run's ring count K at execution
+  // time (-1 = the last ring, other values taken modulo K), so one schedule
+  // replays at any K.
+  kRingOffline,     ///< at t=0: ring `node` starts owning no hash space
+  kMigrate,         ///< start a live migration; `count` picks the mode:
+                    ///< 1 = add ring `peer`, 2 = remove ring `node`,
+                    ///< 3 = move `rate` of ring `node`'s span to `peer`,
+                    ///< 4 = rebalance `rate` of the hottest ring's span to
+                    ///<     the least-loaded ring
 };
 
 [[nodiscard]] const char* fault_name(FaultKind kind);
@@ -101,6 +111,14 @@ struct Scenario {
   /// judges every recovery against the committed history. Implies kv_level
   /// semantics; single-ring only.
   bool durable = false;
+  /// Live-migration scenario: the workload submits through the per-node
+  /// ShardRouters (keyed), the schedule carries kMigrate/kRingOffline
+  /// events, and the MergedOracle runs its handoff audit. Multi-ring only —
+  /// skipped when the campaign sweeps rings == 1.
+  bool migration = false;
+  /// Keyed workload draws zipf-skewed keys (hot-shard scenarios) instead of
+  /// uniform per-(node, index) keys.
+  bool zipf_keys = false;
 };
 
 /// The 3-datacenter topology every WAN campaign scenario runs on: `nodes`

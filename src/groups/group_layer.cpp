@@ -62,13 +62,19 @@ bool GroupLayer::submit_to_ring(size_t ring, Service service,
   return submits_[ring](service, std::move(payload));
 }
 
+bool GroupLayer::submit_for_group(std::string_view group, Service service,
+                                  std::vector<std::byte> payload) {
+  if (keyed_submit_) return keyed_submit_(group, service, std::move(payload));
+  return submit_to_ring(ring_for(group), service, std::move(payload));
+}
+
 bool GroupLayer::join(uint32_t client, const std::string& name,
                       const std::string& group) {
   GroupMsg msg;
   msg.op = GroupOp::kJoin;
   msg.origin = Member{self_, client, name};
   msg.groups = {group};
-  return submit_to_ring(ring_for(group), Service::kAgreed, encode(msg));
+  return submit_for_group(group, Service::kAgreed, encode(msg));
 }
 
 bool GroupLayer::leave(uint32_t client, const std::string& name,
@@ -77,7 +83,7 @@ bool GroupLayer::leave(uint32_t client, const std::string& name,
   msg.op = GroupOp::kLeave;
   msg.origin = Member{self_, client, name};
   msg.groups = {group};
-  return submit_to_ring(ring_for(group), Service::kAgreed, encode(msg));
+  return submit_for_group(group, Service::kAgreed, encode(msg));
 }
 
 bool GroupLayer::send(uint32_t client, const std::string& name,
@@ -94,7 +100,7 @@ bool GroupLayer::send(uint32_t client, const std::string& name,
   // fixes the message's position relative to the other rings' traffic.
   const std::string& anchor =
       *std::min_element(target_groups.begin(), target_groups.end());
-  return submit_to_ring(ring_for(anchor), service, encode(msg));
+  return submit_for_group(anchor, service, encode(msg));
 }
 
 bool GroupLayer::disconnect(uint32_t client, const std::string& name) {

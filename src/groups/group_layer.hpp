@@ -66,6 +66,11 @@ class GroupLayer {
   using SubmitFn = std::function<bool(Service, std::vector<std::byte>)>;
   /// Maps a group name to the ring that orders it (e.g. ShardMap::ring_of).
   using RouteFn = std::function<int(std::string_view group)>;
+  /// Submits one ordered message under a group-name routing key; the
+  /// substrate picks the ring (e.g. RingSet::submit_named, whose per-node
+  /// ShardRouter holds messages for migrating ranges across a handoff).
+  using KeyedSubmitFn = std::function<bool(std::string_view group, Service,
+                                           std::vector<std::byte>)>;
 
   /// Single-ring assembly: everything is ordered by one engine.
   GroupLayer(protocol::ProcessId self, protocol::Engine& engine)
@@ -84,6 +89,17 @@ class GroupLayer {
              RouteFn route)
       : self_(self), submits_(std::move(ring_submits)),
         route_(std::move(route)) {}
+
+  /// Elastic multi-ring assembly: routing lives in the substrate's versioned
+  /// ShardRouter (RingSet::submit_named), so group->ring ownership migrates
+  /// live under the layer — sends for a moving group are held across the
+  /// handoff and flushed to the new ring, with no layer involvement. The
+  /// per-ring submits remain for the operations that must reach *every*
+  /// ring regardless of ownership (leave-all disconnects).
+  GroupLayer(protocol::ProcessId self, std::vector<SubmitFn> ring_submits,
+             KeyedSubmitFn keyed_submit)
+      : self_(self), submits_(std::move(ring_submits)),
+        keyed_submit_(std::move(keyed_submit)) {}
 
   void set_on_view(ViewFn fn) { on_view_ = std::move(fn); }
   void set_on_message(MessageFn fn) { on_message_ = std::move(fn); }
@@ -119,10 +135,15 @@ class GroupLayer {
   [[nodiscard]] size_t ring_for(std::string_view group) const;
   bool submit_to_ring(size_t ring, Service service,
                       std::vector<std::byte> payload);
+  /// Route by group name: the substrate's router in elastic mode, the
+  /// static RouteFn otherwise.
+  bool submit_for_group(std::string_view group, Service service,
+                        std::vector<std::byte> payload);
 
   protocol::ProcessId self_;
   std::vector<SubmitFn> submits_;  ///< one per ring
   RouteFn route_;                  ///< unset => single ring
+  KeyedSubmitFn keyed_submit_;     ///< set => substrate-routed (elastic)
   GroupSet set_;
   ViewFn on_view_;
   MessageFn on_message_;

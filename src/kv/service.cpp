@@ -282,6 +282,15 @@ void KvService::arm_renewal(int node, int shard, uint64_t gen) {
   });
 }
 
+size_t KvService::apply_map(const multiring::MigrationPlan& plan) {
+  size_t remapped = 0;
+  for (int n = 0; n < nodes_; ++n) {
+    if (down_[static_cast<size_t>(n)]) continue;
+    remapped += frontends_[static_cast<size_t>(n)]->apply_map(plan);
+  }
+  return remapped;
+}
+
 void KvService::on_crash(int node) {
   down_[static_cast<size_t>(node)] = true;
   for (int shard = 0; shard < cfg_.shards; ++shard) {

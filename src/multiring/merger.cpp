@@ -1,5 +1,6 @@
 #include "multiring/merger.hpp"
 
+#include "multiring/migration.hpp"
 #include "util/bytes.hpp"
 
 namespace accelring::multiring {
@@ -38,6 +39,7 @@ MergerMetrics MergerMetrics::bind(obs::MetricsRegistry& registry) {
   m.skip_msgs = &registry.counter("merger", "skip_msgs");
   m.skipped_slots = &registry.counter("merger", "skipped_slots");
   m.rotations = &registry.counter("merger", "rotations");
+  m.handoff_markers = &registry.counter("merger", "handoff_markers");
   return m;
 }
 
@@ -73,6 +75,20 @@ void DeterministicMerger::pump() {
       ++stats_.merged;
       credit_ += 1;
       if (metrics_.merged != nullptr) metrics_.merged->inc();
+      // Handoff markers are ordinary merged data (one credit, emitted to the
+      // subscriber like anything else), but the merger tracks the map epoch
+      // they announce: after an activate marker, deliveries for the moved
+      // ranges come from the new owner ring.
+      if (const auto marker = decode_marker(d.payload)) {
+        ++stats_.handoff_markers;
+        if (metrics_.handoff_markers != nullptr) {
+          metrics_.handoff_markers->inc();
+        }
+        if (marker->kind == MarkerKind::kActivate &&
+            marker->version > map_version_) {
+          map_version_ = marker->version;
+        }
+      }
       if (on_merged_) on_merged_(cursor_, d);
     }
     if (credit_ >= batch_) {

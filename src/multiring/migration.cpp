@@ -1,0 +1,63 @@
+#include "multiring/migration.hpp"
+
+#include "util/bytes.hpp"
+
+namespace accelring::multiring {
+
+namespace {
+
+// Tag byte + magic chosen like the skip message's: outside the frame-type
+// bytes of the group/rsm layers and backed by a 32-bit magic, so an
+// application payload cannot collide by accident.
+constexpr uint8_t kMarkerTag = 0x4D;
+constexpr uint32_t kMarkerMagic = 0x474d524du;  // "MRMG"
+
+}  // namespace
+
+std::vector<std::byte> make_marker(const MigrationMarker& m) {
+  util::Writer w(15 + 18 * m.moves.size() + 2);
+  w.u8(kMarkerTag);
+  w.u32(kMarkerMagic);
+  w.u8(static_cast<uint8_t>(m.kind));
+  w.u64(m.version);
+  w.u8(static_cast<uint8_t>(m.ring));
+  if (m.kind == MarkerKind::kFreeze) {
+    w.u16(static_cast<uint16_t>(m.moves.size()));
+    for (const MigrationMove& mv : m.moves) {
+      w.u64(mv.range.lo);
+      w.u64(mv.range.hi);
+      w.u8(static_cast<uint8_t>(mv.src));
+      w.u8(static_cast<uint8_t>(mv.dst));
+    }
+  }
+  return std::move(w).take();
+}
+
+std::optional<MigrationMarker> decode_marker(
+    std::span<const std::byte> payload) {
+  if (payload.size() < 15) return std::nullopt;
+  util::Reader r(payload);
+  if (r.u8() != kMarkerTag || r.u32() != kMarkerMagic) return std::nullopt;
+  MigrationMarker m;
+  const uint8_t kind = r.u8();
+  if (kind < 1 || kind > 3) return std::nullopt;
+  m.kind = static_cast<MarkerKind>(kind);
+  m.version = r.u64();
+  m.ring = r.u8();
+  if (m.kind == MarkerKind::kFreeze) {
+    const uint16_t n = r.u16();
+    m.moves.reserve(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      MigrationMove mv;
+      mv.range.lo = r.u64();
+      mv.range.hi = r.u64();
+      mv.src = r.u8();
+      mv.dst = r.u8();
+      m.moves.push_back(mv);
+    }
+  }
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace accelring::multiring

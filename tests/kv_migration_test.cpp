@@ -1,0 +1,290 @@
+// KV-layer shard migration: Frontend/KvService::apply_map moves routing,
+// in-flight ops, and lease authority with the shard (docs/MULTIRING.md §KV).
+//
+// The handoff contract under test:
+//  * routing — after apply_map every node's shard_of answers with the new
+//    owner, and the map version bumps everywhere at once;
+//  * leases — the fast path on a handoff destination is suppressed until
+//    its local machine applies past the handoff point, so a leaseholder
+//    cannot serve moved keys from pre-handoff state;
+//  * in-flight ops — pending ops whose key moved are resubmitted to the new
+//    shard's stream and resolve there (dedup floors absorb the old frame);
+//  * oracle — KvOracle::note_map_change opens a routing epoch; outcomes for
+//    a key hopping shards inside one epoch are violations, across the
+//    handoff they are expected.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/kv_oracle.hpp"
+#include "kv/service.hpp"
+#include "multiring/ring_set.hpp"
+
+namespace accelring::kv {
+namespace {
+
+using check::KvOracle;
+
+multiring::MultiRingConfig ring_cfg(uint64_t seed) {
+  multiring::MultiRingConfig cfg;
+  cfg.rings = 2;
+  cfg.nodes_per_ring = 4;
+  cfg.fabric = simnet::FabricParams::one_gig();
+  cfg.proto.timeouts.token_loss = util::msec(30);
+  cfg.proto.timeouts.join = util::msec(5);
+  cfg.proto.timeouts.consensus = util::msec(60);
+  cfg.seed = seed;
+  return cfg;
+}
+
+KvOp put_op(std::string key, std::string value) {
+  KvOp op;
+  op.type = OpType::kPut;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  return op;
+}
+
+KvOp get_op(std::string key) {
+  KvOp op;
+  op.type = OpType::kGet;
+  op.key = std::move(key);
+  return op;
+}
+
+/// Does `plan` move this KV key's routing hash? (Frontend::shard_of hashes
+/// names exactly like ShardMap::ring_of.)
+bool plan_moves(const multiring::MigrationPlan& plan, const std::string& key) {
+  return plan.move_of(multiring::mix64(multiring::fnv1a(key))) != nullptr;
+}
+
+/// One op issued with a retry watchdog (frames shed or lost around faults
+/// are resubmitted; the session dedup floor absorbs duplicates).
+void issue_with_retry(KvService& service, int node, uint64_t uuid,
+                      uint64_t seq, const KvOp& op,
+                      Frontend::CompleteFn done) {
+  ASSERT_TRUE(service.frontend(node).issue(uuid, seq, op, 0, std::move(done)));
+  struct Watchdog {
+    static void arm(KvService& service, int node, uint64_t uuid) {
+      service.eq().schedule_after(util::msec(60), [&service, node, uuid] {
+        if (service.frontend(node).in_flight(uuid)) {
+          service.frontend(node).retry(uuid);
+          arm(service, node, uuid);
+        }
+      });
+    }
+  };
+  Watchdog::arm(service, node, uuid);
+}
+
+TEST(KvMigration, QuiescedHandoffMovesRoutingLeasesAndSessions) {
+  multiring::RingSet rings(ring_cfg(77));
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  KvService service(rings, cfg);
+  KvOracle oracle;
+  oracle.attach(service);
+  rings.start_static();
+
+  // The plan is cut against the frontends' initial map: a test-side
+  // ShardMap(2) with no plan history is byte-identical to every node's.
+  const multiring::ShardMap reference(2);
+  const multiring::MigrationPlan plan = reference.plan_move_fraction(0, 1, 0.5);
+  ASSERT_FALSE(plan.empty());
+
+  // Phase 1: write keys that do NOT move (the data-migration contract:
+  // moved ranges must be empty of data at a quiesced handoff).
+  std::vector<std::string> stay, moved;
+  for (int i = 0; stay.size() < 6 || moved.size() < 3; ++i) {
+    ASSERT_LT(i, 200);
+    std::string key = "mig-key-" + std::to_string(i);
+    (plan_moves(plan, key) ? moved : stay).push_back(std::move(key));
+  }
+  uint64_t uuid = 500;
+  std::vector<Frontend::Outcome> outcomes;
+  for (size_t i = 0; i < stay.size(); ++i) {
+    const std::string& key = stay[i];
+    const int node = static_cast<int>(i) % rings.nodes_per_ring();
+    const uint64_t id = uuid++;
+    rings.eq().schedule(util::msec(40) + util::msec(2) * i,
+                        [&, key, node, id] {
+                          issue_with_retry(service, node, id, 1,
+                                           put_op(key, "before"),
+                                           [&outcomes](const auto& o) {
+                                             outcomes.push_back(o);
+                                           });
+                        });
+  }
+  rings.run_until(util::msec(400));
+  ASSERT_EQ(outcomes.size(), stay.size()) << "phase 1 did not quiesce";
+  for (int n = 0; n < rings.nodes_per_ring(); ++n) {
+    ASSERT_EQ(service.frontend(n).pending(), 0u) << "node " << n;
+  }
+
+  // A lease read against the (future) destination shard proves the fast
+  // path is live before the handoff — otherwise the suppression assertion
+  // below would be vacuous.
+  int holder = -1;
+  for (int n = 0; n < rings.nodes_per_ring(); ++n) {
+    if (service.lease(n, 1).can_serve(static_cast<ProcessId>(n),
+                                      rings.eq().now(), cfg.lease)) {
+      holder = n;
+    }
+  }
+  ASSERT_GE(holder, 0) << "no node holds shard 1's lease after 400 ms";
+  std::string dst_key;  // a key shard 1 owns before AND after the handoff
+  for (int i = 0; dst_key.empty(); ++i) {
+    ASSERT_LT(i, 200);
+    const std::string key = "dst-key-" + std::to_string(i);
+    if (service.frontend(0).shard_of(key) == 1 && !plan_moves(plan, key)) {
+      dst_key = key;
+    }
+  }
+  Frontend::Outcome pre_read;
+  ASSERT_TRUE(service.frontend(holder).issue(
+      uuid++, 1, get_op(dst_key), 0,
+      [&pre_read](const auto& o) { pre_read = o; }));
+  EXPECT_TRUE(pre_read.lease_served)
+      << "lease fast path not live pre-handoff; holder " << holder;
+
+  // The handoff: every live node's frontend installs the plan atomically
+  // (simulated instant), the oracle opens a new routing epoch.
+  const uint64_t moved_before = service.machine(holder, 1).version();
+  EXPECT_EQ(service.apply_map(plan), 0u) << "quiesced: nothing to remap";
+  oracle.note_map_change(plan.to_version);
+  for (int n = 0; n < rings.nodes_per_ring(); ++n) {
+    EXPECT_EQ(service.frontend(n).map_version(), 1u) << "node " << n;
+    for (const std::string& key : moved) {
+      EXPECT_EQ(service.frontend(n).shard_of(key), 1) << key;
+    }
+    for (const std::string& key : stay) {
+      EXPECT_EQ(service.frontend(n).shard_of(key),
+                service.frontend(0).shard_of(key))
+          << key;
+    }
+  }
+
+  // Lease suppression: the same holder, the same shard, the same instant —
+  // but the destination took ownership of ranges its machine has not seen
+  // an apply for, so the fast path must refuse until one lands.
+  Frontend::Outcome post_read;
+  bool post_done = false;
+  ASSERT_TRUE(service.frontend(holder).issue(
+      uuid++, 1, get_op(dst_key), 0, [&post_read, &post_done](const auto& o) {
+        post_read = o;
+        post_done = true;
+      }));
+  if (post_done) {
+    EXPECT_FALSE(post_read.lease_served)
+        << "dst lease served moved-range state before any post-handoff apply";
+  }
+  EXPECT_EQ(service.machine(holder, 1).version(), moved_before);
+
+  // Phase 2: write + read moved keys on their new shard, everywhere.
+  std::vector<Frontend::Outcome> phase2;
+  for (size_t i = 0; i < moved.size(); ++i) {
+    const std::string& key = moved[i];
+    const int node = static_cast<int>(i) % rings.nodes_per_ring();
+    const uint64_t id = uuid++;
+    rings.eq().schedule_after(util::msec(5) + util::msec(3) * i,
+                              [&, key, node, id] {
+                                issue_with_retry(service, node, id, 1,
+                                                 put_op(key, "after"),
+                                                 [&phase2](const auto& o) {
+                                                   phase2.push_back(o);
+                                                 });
+                              });
+  }
+  rings.run_until(rings.eq().now() + util::msec(300));
+  ASSERT_EQ(phase2.size(), moved.size());
+  for (const Frontend::Outcome& o : phase2) {
+    EXPECT_EQ(o.shard, 1) << o.key;
+    EXPECT_EQ(o.result.status, Status::kOk) << o.key;
+  }
+
+  oracle.finalize();
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+  EXPECT_GT(oracle.observed(), 0u);
+}
+
+TEST(KvMigration, InFlightOpsAreRemappedToTheNewShard) {
+  multiring::RingSet rings(ring_cfg(78));
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  KvService service(rings, cfg);
+  KvOracle oracle;
+  oracle.attach(service);
+  rings.start_static();
+  rings.run_until(util::msec(60));  // rings formed, leases granted
+
+  const multiring::ShardMap reference(2);
+  const multiring::MigrationPlan plan = reference.plan_move_fraction(0, 1, 0.5);
+  std::string moved_key;
+  for (int i = 0; moved_key.empty(); ++i) {
+    ASSERT_LT(i, 200);
+    const std::string key = "inflight-" + std::to_string(i);
+    if (plan_moves(plan, key)) moved_key = key;
+  }
+  ASSERT_EQ(service.frontend(0).shard_of(moved_key), 0);
+
+  // Issue a PUT for the moving key, then install the handoff before the
+  // frame can possibly apply: the pending op must follow the key.
+  Frontend::Outcome outcome;
+  bool done = false;
+  ASSERT_TRUE(service.frontend(0).issue(900, 1, put_op(moved_key, "v"), 0,
+                                        [&](const auto& o) {
+                                          outcome = o;
+                                          done = true;
+                                        }));
+  ASSERT_FALSE(done);
+  EXPECT_EQ(service.apply_map(plan), 1u) << "one pending op should remap";
+  oracle.note_map_change(plan.to_version);
+  EXPECT_EQ(service.frontend(0).stats().remapped, 1u);
+
+  struct Watchdog {
+    static void arm(KvService& service) {
+      service.eq().schedule_after(util::msec(60), [&service] {
+        if (service.frontend(0).in_flight(900)) {
+          service.frontend(0).retry(900);
+          arm(service);
+        }
+      });
+    }
+  };
+  Watchdog::arm(service);
+  rings.run_until(rings.eq().now() + util::msec(400));
+
+  ASSERT_TRUE(done) << "remapped op never resolved";
+  EXPECT_EQ(outcome.shard, 1) << "op resolved on the old shard";
+  EXPECT_EQ(outcome.result.status, Status::kOk);
+  EXPECT_GE(outcome.retries, 1u);  // the remap resubmission counts
+
+  oracle.finalize();
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+}
+
+TEST(KvMigration, StaleAndEmptyPlansAreIgnored) {
+  multiring::RingSet rings(ring_cfg(79));
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  KvService service(rings, cfg);
+  rings.start_static();
+  rings.run_until(util::msec(30));
+
+  const multiring::ShardMap reference(2);
+  const multiring::MigrationPlan plan = reference.plan_move_fraction(0, 1, 0.3);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(service.apply_map(multiring::MigrationPlan{}), 0u);
+  EXPECT_EQ(service.frontend(0).map_version(), 0u);
+  service.apply_map(plan);
+  EXPECT_EQ(service.frontend(0).map_version(), 1u);
+  // Replaying the same plan is a no-op: from_version no longer matches.
+  EXPECT_EQ(service.apply_map(plan), 0u);
+  for (int n = 0; n < rings.nodes_per_ring(); ++n) {
+    EXPECT_EQ(service.frontend(n).map_version(), 1u) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace accelring::kv

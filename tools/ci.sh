@@ -114,6 +114,28 @@ ACCELRING_BENCH_DIR="${STORAGE_DIR}" \
 python3 tools/validate_bench_json.py \
   "${STORAGE_DIR}/BENCH_kv_smoke_1shard_durable.json"
 
+# Migration acceptance: every live-migration campaign scenario (elastic
+# ring add/remove, migration racing a partition heal, hot-shard rebalance)
+# stays clean under the MergedOracle handoff audit across a seed sweep plus
+# the migration.seeds regression corpus, and the migration bench (handoff
+# latency/throughput phases in --smoke) emits a validating artifact.
+# Guards the whole elastic stack: consistent-hash plans, ordered
+# freeze/drain/activate markers, held-message flush, and the audit itself.
+echo "=== build: migration campaign + handoff bench smoke ==="
+cmake --build build --target fig_migration
+./build/tools/check_campaign --quiet --seeds 20 --rings 4 \
+  --seed-file tests/seeds/migration.seeds \
+  --scenario ring_add_under_load --scenario ring_remove_under_load \
+  --scenario migration_during_partition_heal \
+  --scenario hot_shard_zipf_rebalance
+MIGRATION_DIR="build/migration_artifacts"
+rm -rf "${MIGRATION_DIR}"
+mkdir -p "${MIGRATION_DIR}"
+ACCELRING_BENCH_DIR="${MIGRATION_DIR}" \
+  ./build/bench/fig_migration --smoke >/dev/null
+python3 tools/validate_bench_json.py \
+  "${MIGRATION_DIR}/BENCH_migration_smoke.json"
+
 if [[ "${FAST}" == "0" ]]; then
   configure_and_test build-asan -DACCELRING_SANITIZE=address
   configure_and_test build-ubsan -DACCELRING_SANITIZE=undefined
